@@ -1,0 +1,154 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation section.
+// Each benchmark regenerates its table/figure through the same Harness
+// the paperfigs command uses, on a reduced default grid (the two
+// smallest size classes, 16 processors) so `go test -bench=.` finishes
+// in minutes on a small host; run `go run ./cmd/paperfigs` for the full
+// grids. Simulated times are attached as custom metrics so benchmark
+// output doubles as a compact record of the reproduced numbers.
+
+import (
+	"testing"
+
+	"repro/internal/keys"
+)
+
+// benchOpts returns the reduced grid used by the benchmarks.
+func benchOpts() Options {
+	return Options{
+		Procs:      []int{16},
+		Sizes:      SizeClasses[:2], // 1M, 4M classes
+		RadixSweep: []int{7, 8, 11},
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := NewHarness(benchOpts())
+		_, times, err := h.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(times[len(times)-1]/1e6, "simMs/seq-4Mclass")
+	}
+}
+
+func benchSpeedup(b *testing.B, fn func(h *Harness) (*SpeedupFigure, error), variant string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		h := NewHarness(benchOpts())
+		f, err := fn(h)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := f.Sizes[len(f.Sizes)-1]
+		b.ReportMetric(f.Get(variant, last, 16), "speedup/"+variant)
+	}
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	benchSpeedup(b, func(h *Harness) (*SpeedupFigure, error) { return h.Figure1() }, "NEW")
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	benchSpeedup(b, func(h *Harness) (*SpeedupFigure, error) { return h.Figure2() }, "NEW")
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	benchSpeedup(b, func(h *Harness) (*SpeedupFigure, error) { return h.Figure3() }, "SHMEM")
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	benchSpeedup(b, func(h *Harness) (*SpeedupFigure, error) { return h.Figure7() }, "CC-SAS")
+}
+
+func benchBreakdown(b *testing.B, fn func(h *Harness) (*BreakdownFigure, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		// Breakdown figures run at the 64M class on the grid's largest
+		// processor count; restrict to keep bench time bounded.
+		h := NewHarness(Options{Procs: []int{16}, Sizes: SizeClasses[:2]})
+		f, err := fn(h)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := f.Panels[0].Mean()
+		b.ReportMetric(m.Mem()/1e3, "memUs/"+f.Panels[0].Name)
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	benchBreakdown(b, func(h *Harness) (*BreakdownFigure, error) { return h.Figure4() })
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	benchBreakdown(b, func(h *Harness) (*BreakdownFigure, error) { return h.Figure8() })
+}
+
+func benchRelative(b *testing.B, fn func(h *Harness) (*RelativeFigure, error), variant string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		h := NewHarness(benchOpts())
+		f, err := fn(h)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(f.Get(variant, f.Sizes[0]), "relTime/"+variant)
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	benchRelative(b, func(h *Harness) (*RelativeFigure, error) { return h.Figure5() },
+		keys.Local.String())
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	benchRelative(b, func(h *Harness) (*RelativeFigure, error) { return h.Figure6() }, "r=11")
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	benchRelative(b, func(h *Harness) (*RelativeFigure, error) { return h.Figure9() },
+		keys.Local.String())
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	benchRelative(b, func(h *Harness) (*RelativeFigure, error) { return h.Figure10() }, "r=11")
+}
+
+func BenchmarkTable2And3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := NewHarness(Options{
+			Procs:        []int{16},
+			Sizes:        SizeClasses[:2],
+			TableRadixes: []int{8, 11},
+		})
+		bt, err := h.Tables23()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cell := bt.Best[Radix][bt.Sizes[0]][16]
+		b.ReportMetric(cell.TimeNs/1e6, "bestMs/radix-1M-16P")
+	}
+}
+
+// BenchmarkSingleSorts times each algorithm/model pair directly (the
+// kernel the library exposes), one sub-benchmark per combination.
+func BenchmarkSingleSorts(b *testing.B) {
+	for _, alg := range []Algorithm{Radix, Sample} {
+		for _, mo := range Models(alg) {
+			b.Run(string(alg)+"/"+string(mo), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					out, err := Run(Experiment{
+						Algorithm: alg, Model: mo,
+						N: SizeClasses[0].ScaledN, Procs: 16, Radix: 8,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(out.TimeNs/1e6, "simMs")
+				}
+			})
+		}
+	}
+}

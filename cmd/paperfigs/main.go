@@ -1,0 +1,150 @@
+// Command paperfigs regenerates the tables and figures of "Parallel
+// Sorting on Cache-coherent DSM Multiprocessors" (SC 1999) on the
+// simulated machine.
+//
+// Usage:
+//
+//	paperfigs [-exp all|table1|fig1|...|table23] [-sizes 1M,4M,16M]
+//	          [-procs 16,32,64] [-seed N] [-v]
+//
+// By default every experiment runs on the scaled machine over all five
+// size classes; use -sizes to restrict (the 64M/256M classes take
+// minutes of host time on a small machine).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: all, table1, fig1..fig10, table23")
+		sizes   = flag.String("sizes", "", "comma-separated size classes (1M,4M,16M,64M,256M); default all")
+		procs   = flag.String("procs", "", "comma-separated processor counts; default 16,32,64")
+		radixes = flag.String("radixes", "", "comma-separated radix sweep for fig6/fig10; default 6..12")
+		seed    = flag.Uint64("seed", 0, "key generation seed")
+		verbose = flag.Bool("v", false, "print one line per completed run")
+	)
+	flag.Parse()
+
+	opts := repro.Options{Seed: *seed}
+	if *sizes != "" {
+		for _, s := range strings.Split(*sizes, ",") {
+			sc, err := repro.SizeByLabel(strings.TrimSpace(s))
+			if err != nil {
+				fatal(err)
+			}
+			opts.Sizes = append(opts.Sizes, sc)
+		}
+	}
+	if *procs != "" {
+		opts.Procs = parseInts(*procs)
+	}
+	if *radixes != "" {
+		opts.RadixSweep = parseInts(*radixes)
+	}
+	if *verbose {
+		opts.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	h := repro.NewHarness(opts)
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+
+	if want("table1") {
+		ran = true
+		t, _, err := h.Table1()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(t)
+	}
+	speedups := []struct {
+		name string
+		fn   func() (*repro.SpeedupFigure, error)
+	}{
+		{"fig1", h.Figure1}, {"fig2", h.Figure2}, {"fig3", h.Figure3}, {"fig7", h.Figure7},
+	}
+	for _, s := range speedups {
+		if !want(s.name) {
+			continue
+		}
+		ran = true
+		f, err := s.fn()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(f.Table())
+	}
+	breakdowns := []struct {
+		name string
+		fn   func() (*repro.BreakdownFigure, error)
+	}{
+		{"fig4", h.Figure4}, {"fig8", h.Figure8},
+	}
+	for _, s := range breakdowns {
+		if !want(s.name) {
+			continue
+		}
+		ran = true
+		f, err := s.fn()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(f.Chart())
+	}
+	relatives := []struct {
+		name string
+		fn   func() (*repro.RelativeFigure, error)
+	}{
+		{"fig5", h.Figure5}, {"fig6", h.Figure6}, {"fig9", h.Figure9}, {"fig10", h.Figure10},
+	}
+	for _, s := range relatives {
+		if !want(s.name) {
+			continue
+		}
+		ran = true
+		f, err := s.fn()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(f.Table())
+	}
+	if want("table23") {
+		ran = true
+		bt, err := h.Tables23()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bt.Table2())
+		fmt.Println(bt.Table3())
+	}
+	if !ran {
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			fatal(err)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paperfigs:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,98 @@
+// Command predict runs the analytic performance model (the paper's
+// stated future work): given a machine and a radix-sort workload, it
+// predicts each programming model's execution time and phase breakdown
+// without simulating, and optionally validates against the simulator.
+//
+// Usage:
+//
+//	predict -n 1048576 -procs 16 -radix 8 [-full] [-validate]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro"
+	"repro/internal/machine"
+	"repro/internal/mpi"
+	"repro/internal/perfmodel"
+	"repro/internal/report"
+	"repro/internal/shmem"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 1<<20, "key count")
+		procs    = flag.Int("procs", 16, "processor count")
+		radix    = flag.Int("radix", 8, "radix size in bits")
+		full     = flag.Bool("full", false, "use the full-size Origin2000 parameters")
+		validate = flag.Bool("validate", false, "also run the simulator and report prediction error")
+	)
+	flag.Parse()
+
+	var cfg machine.Config
+	mpiCfg := mpi.DefaultDirect()
+	shmCfg := shmem.DefaultConfig()
+	if *full {
+		cfg = machine.Origin2000(*procs)
+	} else {
+		cfg = machine.Origin2000Scaled(*procs)
+		mpiCfg = mpiCfg.Scaled(machine.ScaleFactor)
+		shmCfg = shmCfg.Scaled(machine.ScaleFactor)
+	}
+	pr, err := perfmodel.New(cfg, mpiCfg, shmCfg)
+	if err != nil {
+		fatal(err)
+	}
+	w := perfmodel.Workload{N: *n, Procs: *procs, Radix: *radix}
+	ranked, err := pr.PredictAll(w)
+	if err != nil {
+		fatal(err)
+	}
+
+	t := &report.Table{
+		Title:  fmt.Sprintf("Predicted radix sort times: n=%d procs=%d radix=%d", *n, *procs, *radix),
+		Header: []string{"rank", "model", "predicted"},
+	}
+	if *validate {
+		t.Header = append(t.Header, "simulated", "pred/sim")
+	}
+	for i, p := range ranked {
+		row := []string{fmt.Sprintf("%d", i+1), string(p.Model), report.Ms(p.TimeNs)}
+		if *validate {
+			out, err := repro.Run(repro.Experiment{
+				Algorithm: repro.Radix, Model: repro.Model(p.Model),
+				N: *n, Procs: *procs, Radix: *radix, FullSize: *full,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			row = append(row, report.Ms(out.TimeNs), report.F(p.TimeNs/out.TimeNs))
+		}
+		t.AddRow(row...)
+	}
+	fmt.Println(t)
+
+	// Phase detail for the predicted winner.
+	best := ranked[0]
+	pt := &report.Table{
+		Title:  fmt.Sprintf("Predicted phases for %s", best.Model),
+		Header: []string{"phase", "time"},
+	}
+	names := make([]string, 0, len(best.Phases))
+	for name := range best.Phases {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pt.AddRow(name, report.Ms(best.Phases[name]))
+	}
+	fmt.Println(pt)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "predict:", err)
+	os.Exit(1)
+}

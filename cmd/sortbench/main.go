@@ -1,0 +1,87 @@
+// Command sortbench runs one sorting experiment on the simulated DSM
+// machine and prints its simulated time and per-processor breakdown.
+//
+// Usage:
+//
+//	sortbench -algo radix -model shmem -n 262144 -procs 16 -radix 8 \
+//	          -dist gauss [-seed N] [-full] [-perproc]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/keys"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		algo    = flag.String("algo", "radix", "algorithm: radix or sample")
+		model   = flag.String("model", "shmem", "model: seq, ccsas, ccsas-new, mpi, mpi-sgi, shmem")
+		n       = flag.Int("n", 1<<18, "key count")
+		procs   = flag.Int("procs", 16, "processor count (power of two)")
+		radix   = flag.Int("radix", 8, "radix size in bits")
+		dist    = flag.String("dist", "gauss", "key distribution")
+		seed    = flag.Uint64("seed", 0, "key generation seed")
+		full    = flag.Bool("full", false, "use the full-size (unscaled) Origin2000 parameters")
+		perproc = flag.Bool("perproc", false, "print the per-processor breakdown")
+	)
+	flag.Parse()
+
+	a, err := repro.ParseAlgorithm(*algo)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := repro.ParseModel(*model)
+	if err != nil {
+		fatal(err)
+	}
+	d, err := keys.ParseDist(*dist)
+	if err != nil {
+		fatal(err)
+	}
+	out, err := repro.Run(repro.Experiment{
+		Algorithm: a, Model: m, N: *n, Procs: *procs, Radix: *radix,
+		Dist: d, Seed: *seed, FullSize: *full,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%s/%s  n=%d  procs=%d  radix=%d  dist=%s\n",
+		a, m, *n, *procs, *radix, d)
+	fmt.Printf("simulated time: %s  (verified sorted: %v)\n",
+		report.Ms(out.TimeNs), out.Verified)
+
+	bds := out.Breakdowns()
+	var sum, maxTotal float64
+	for _, b := range bds {
+		sum += b.Total()
+		if b.Total() > maxTotal {
+			maxTotal = b.Total()
+		}
+	}
+	mean := sum / float64(len(bds))
+	fmt.Printf("per-proc mean: %s  max: %s\n", report.Ms(mean), report.Ms(maxTotal))
+
+	if *perproc {
+		t := &report.Table{
+			Title:  "Per-processor breakdown (ms)",
+			Header: []string{"proc", "BUSY", "LMEM", "RMEM", "SYNC", "total"},
+		}
+		for i, b := range bds {
+			t.AddRow(fmt.Sprintf("%d", i),
+				report.F(b.Busy/1e6), report.F(b.LMem/1e6),
+				report.F(b.RMem/1e6), report.F(b.Sync/1e6), report.F(b.Total()/1e6))
+		}
+		fmt.Println(t)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sortbench:", err)
+	os.Exit(1)
+}

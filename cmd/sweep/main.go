@@ -1,0 +1,140 @@
+// Command sweep runs the parameter sweeps and ablations DESIGN.md §4
+// calls out: radix-size and buffer-depth sweeps, and the flat-memory /
+// no-contention ablations that show which modeled mechanisms carry the
+// paper's effects.
+//
+// Usage:
+//
+//	sweep -kind radix|bufdepth|flatmem|nocontention
+//	      [-algo radix] [-model shmem] [-n N] [-procs P] [-dist gauss]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/keys"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		kind  = flag.String("kind", "radix", "sweep kind: radix, bufdepth, flatmem, nocontention")
+		algo  = flag.String("algo", "radix", "algorithm")
+		model = flag.String("model", "shmem", "model")
+		n     = flag.Int("n", 1<<18, "key count")
+		procs = flag.Int("procs", 16, "processor count")
+		dist  = flag.String("dist", "gauss", "key distribution")
+		seed  = flag.Uint64("seed", 0, "seed")
+	)
+	flag.Parse()
+
+	a, err := repro.ParseAlgorithm(*algo)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := repro.ParseModel(*model)
+	if err != nil {
+		fatal(err)
+	}
+	d, err := keys.ParseDist(*dist)
+	if err != nil {
+		fatal(err)
+	}
+	base := repro.Experiment{
+		Algorithm: a, Model: m, N: *n, Procs: *procs, Radix: 8, Dist: d, Seed: *seed,
+	}
+
+	switch *kind {
+	case "radix":
+		t := &report.Table{
+			Title:  fmt.Sprintf("Radix-size sweep: %s/%s n=%d procs=%d", a, m, *n, *procs),
+			Header: []string{"radix", "passes", "time", "vs r=8"},
+		}
+		ref := 0.0
+		for _, r := range []int{6, 7, 8, 9, 10, 11, 12} {
+			e := base
+			e.Radix = r
+			out, err := repro.Run(e)
+			if err != nil {
+				fatal(err)
+			}
+			if r == 8 {
+				ref = out.TimeNs
+			}
+			t.AddRow(fmt.Sprintf("%d", r), fmt.Sprintf("%d", (31+r-1)/r),
+				report.Ms(out.TimeNs), report.F(out.TimeNs/refOr(ref, out.TimeNs)))
+		}
+		fmt.Println(t)
+
+	case "bufdepth":
+		// The paper §4.2: deeper per-pair buffers alleviate MPI's SYNC
+		// stalls but do not eliminate them (and cost O(p^2) memory).
+		e := base
+		e.Model = repro.MPI
+		t := &report.Table{
+			Title:  fmt.Sprintf("MPI window-depth ablation: %s n=%d procs=%d", a, *n, *procs),
+			Header: []string{"depth", "time", "sum SYNC (ms)"},
+		}
+		for _, depth := range []int{1, 2, 4, 16, 64} {
+			e.MPIBufDepth = depth
+			out, err := repro.Run(e)
+			if err != nil {
+				fatal(err)
+			}
+			var sync float64
+			for _, b := range out.Breakdowns() {
+				sync += b.Sync
+			}
+			t.AddRow(fmt.Sprintf("%d", depth), report.Ms(out.TimeNs), report.F(sync/1e6))
+		}
+		fmt.Println(t)
+
+	case "flatmem", "nocontention":
+		t := &report.Table{
+			Title: fmt.Sprintf("%s ablation: %s n=%d procs=%d (all radix models)",
+				*kind, a, *n, *procs),
+			Header: []string{"model", "real", "ablated", "speedup lost"},
+		}
+		for _, mo := range repro.Models(a) {
+			if mo == repro.MPISGI {
+				continue
+			}
+			e := base
+			e.Model = mo
+			real, err := repro.Run(e)
+			if err != nil {
+				fatal(err)
+			}
+			if *kind == "flatmem" {
+				e.FlatMemory = true
+			} else {
+				e.NoContention = true
+			}
+			abl, err := repro.Run(e)
+			if err != nil {
+				fatal(err)
+			}
+			t.AddRow(string(mo), report.Ms(real.TimeNs), report.Ms(abl.TimeNs),
+				report.F(real.TimeNs/abl.TimeNs))
+		}
+		fmt.Println(t)
+
+	default:
+		fatal(fmt.Errorf("unknown sweep kind %q", *kind))
+	}
+}
+
+func refOr(ref, v float64) float64 {
+	if ref > 0 {
+		return ref
+	}
+	return v
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

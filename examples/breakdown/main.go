@@ -1,0 +1,54 @@
+// Breakdown: the paper's per-processor execution-time decomposition
+// (BUSY / LMEM / RMEM / SYNC, Figures 4 and 8), rendered as stacked text
+// charts for every radix-sort variant on one configuration.
+//
+// Run with: go run ./examples/breakdown
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/keys"
+	"repro/internal/report"
+)
+
+func main() {
+	size, err := repro.SizeByLabel("64M")
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := size.ScaledN
+	const procs = 16
+
+	sb := &report.StackedBreakdown{
+		Title: fmt.Sprintf("Radix sort mean per-processor time (µs), %s class on %dP",
+			size.Label, procs),
+		Categories: []string{"BUSY", "LMEM", "RMEM", "SYNC"},
+		Width:      56,
+	}
+	for _, m := range []repro.Model{repro.CCSAS, repro.CCSASNew, repro.MPI, repro.SHMEM} {
+		out, err := repro.Run(repro.Experiment{
+			Algorithm: repro.Radix, Model: m, N: n, Procs: procs, Dist: keys.Gauss,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var sum [4]float64
+		bds := out.Breakdowns()
+		for _, b := range bds {
+			sum[0] += b.Busy
+			sum[1] += b.LMem
+			sum[2] += b.RMem
+			sum[3] += b.Sync
+		}
+		k := float64(len(bds)) * 1e3 // mean, in µs
+		sb.Labels = append(sb.Labels, string(m))
+		sb.Values = append(sb.Values, []float64{sum[0] / k, sum[1] / k, sum[2] / k, sum[3] / k})
+	}
+	fmt.Println(sb)
+	fmt.Println("As in the paper's Figure 4: the original CC-SAS program is dominated")
+	fmt.Println("by memory time from its scattered remote writes; the explicit models")
+	fmt.Println("and the buffered CC-SAS keep memory time low with bulk transfers.")
+}

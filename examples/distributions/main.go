@@ -1,0 +1,56 @@
+// Distributions: how the eight key initialization methods of the
+// paper's §3.3 affect both sorting algorithms. Reproduces the spirit of
+// Figures 5 and 9 on one configuration.
+//
+// Run with: go run ./examples/distributions
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/keys"
+	"repro/internal/report"
+)
+
+func main() {
+	size, err := repro.SizeByLabel("4M")
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := size.ScaledN
+	const procs = 16
+
+	t := &report.Table{
+		Title: fmt.Sprintf("Execution time by key distribution (%s class, %dP), relative to Gauss",
+			size.Label, procs),
+		Header: []string{"distribution", "radix/shmem", "sample/ccsas"},
+	}
+
+	radixRef, sampleRef := 0.0, 0.0
+	for _, d := range keys.AllDists {
+		radix, err := repro.Run(repro.Experiment{
+			Algorithm: repro.Radix, Model: repro.SHMEM, N: n, Procs: procs, Dist: d,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sample, err := repro.Run(repro.Experiment{
+			Algorithm: repro.Sample, Model: repro.CCSAS, N: n, Procs: procs, Dist: d,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if d == keys.Gauss {
+			radixRef, sampleRef = radix.TimeNs, sample.TimeNs
+		}
+		t.AddRow(d.String(),
+			report.F(radix.TimeNs/radixRef),
+			report.F(sample.TimeNs/sampleRef))
+	}
+	fmt.Println(t)
+	fmt.Println("local is fastest (no key movement); realistic distributions behave")
+	fmt.Println("like Gauss until per-processor data outgrows the cache, where the")
+	fmt.Println("remote/local patterns' spatial locality in the local sort pays off.")
+}

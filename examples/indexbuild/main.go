@@ -1,0 +1,75 @@
+// Indexbuild: the paper's introduction motivates parallel sorting as "a
+// core utility for database systems in organizing and indexing data".
+// This example plays that role: it bulk-builds a sorted index over a
+// synthetic record table on the simulated DSM machine, compares the
+// paper's two algorithms for the job, and then serves point lookups
+// from the index.
+//
+// Run with: go run ./examples/indexbuild
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro"
+	"repro/internal/keys"
+	"repro/internal/report"
+)
+
+func main() {
+	size, err := repro.SizeByLabel("4M")
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := size.ScaledN
+	const procs = 16
+
+	// "Records" keyed by a skewed (Gauss) attribute, as a loaded OLTP
+	// table might be.
+	fmt.Printf("bulk-building a sorted index over %d records on %d processors\n\n", n, procs)
+
+	t := &report.Table{
+		Title:  "Index build: algorithm comparison (simulated)",
+		Header: []string{"algorithm/model", "radix", "build time"},
+	}
+	type cand struct {
+		alg   repro.Algorithm
+		model repro.Model
+		radix int
+	}
+	var best *repro.Outcome
+	for _, c := range []cand{
+		{repro.Radix, repro.SHMEM, 8},
+		{repro.Radix, repro.CCSAS, 8},
+		{repro.Sample, repro.CCSAS, 11},
+	} {
+		out, err := repro.Run(repro.Experiment{
+			Algorithm: c.alg, Model: c.model, N: n, Procs: procs,
+			Radix: c.radix, Dist: keys.Gauss,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.AddRow(fmt.Sprintf("%s/%s", c.alg, c.model), fmt.Sprintf("%d", c.radix),
+			report.Ms(out.TimeNs))
+		if best == nil || out.TimeNs < best.TimeNs {
+			best = out
+		}
+	}
+	fmt.Println(t)
+
+	// The winner's output is the index: serve some lookups.
+	index := best.Result.Sorted
+	fmt.Printf("index built by %s/%s in %s; serving lookups:\n",
+		best.Experiment.Algorithm, best.Experiment.Model, report.Ms(best.TimeNs))
+	for _, probe := range []uint32{0, index[n/4], index[n/2], index[n-1], 1 << 30} {
+		i := sort.Search(len(index), func(j int) bool { return index[j] >= probe })
+		status := "miss"
+		if i < len(index) && index[i] == probe {
+			status = "hit"
+		}
+		fmt.Printf("  key %10d -> position %8d (%s)\n", probe, i, status)
+	}
+}

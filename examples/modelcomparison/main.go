@@ -1,0 +1,59 @@
+// Modelcomparison: the paper's central question — how does the same
+// parallel radix sort perform under CC-SAS, MPI and SHMEM on one
+// cache-coherent DSM machine? This example runs all radix variants
+// across processor counts on one data size and prints the speedup table.
+//
+// Run with: go run ./examples/modelcomparison
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/keys"
+	"repro/internal/report"
+)
+
+func main() {
+	size, err := repro.SizeByLabel("16M")
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := size.ScaledN
+
+	base, err := repro.Run(repro.Experiment{
+		Algorithm: repro.Radix, Model: repro.Seq, N: n, Procs: 1, Dist: keys.Gauss,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sequential radix sort of %d keys: %.3f ms\n\n", n, base.TimeNs/1e6)
+
+	models := []repro.Model{repro.SHMEM, repro.CCSAS, repro.CCSASNew, repro.MPI, repro.MPISGI}
+	t := &report.Table{
+		Title:  fmt.Sprintf("Radix sort speedups, %s class (%d keys), Gauss", size.Label, n),
+		Header: []string{"procs"},
+	}
+	for _, m := range models {
+		t.Header = append(t.Header, string(m))
+	}
+	for _, procs := range []int{4, 16, 64} {
+		row := []string{fmt.Sprintf("%d", procs)}
+		for _, m := range models {
+			out, err := repro.Run(repro.Experiment{
+				Algorithm: repro.Radix, Model: m, N: n, Procs: procs, Dist: keys.Gauss,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			row = append(row, report.F(base.TimeNs/out.TimeNs))
+		}
+		t.AddRow(row...)
+	}
+	fmt.Println(t)
+	fmt.Println("The paper's finding: SHMEM leads for large data sets; the original")
+	fmt.Println("CC-SAS program collapses under scattered-remote-write coherence")
+	fmt.Println("traffic; local buffering (ccsas-new) recovers most of the gap; the")
+	fmt.Println("staged vendor-style MPI (mpi-sgi) trails the direct-copy rewrite.")
+}

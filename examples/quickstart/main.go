@@ -1,0 +1,52 @@
+// Quickstart: sort one million (scaled-class) keys with the paper's
+// recommended combination — radix sort under the SHMEM model — and print
+// the simulated result.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/keys"
+)
+
+func main() {
+	// The 16M size class on 16 processors of the scaled Origin2000.
+	size, err := repro.SizeByLabel("16M")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	out, err := repro.Run(repro.Experiment{
+		Algorithm: repro.Radix,
+		Model:     repro.SHMEM,
+		N:         size.ScaledN,
+		Procs:     16,
+		Radix:     8,
+		Dist:      keys.Gauss,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("sorted %d keys on %d simulated processors\n",
+		size.ScaledN, out.Experiment.Procs)
+	fmt.Printf("simulated time: %.3f ms (verified: %v)\n",
+		out.TimeNs/1e6, out.Verified)
+	fmt.Printf("first keys: %v\n", out.Result.Sorted[:8])
+	fmt.Printf("last keys:  %v\n", out.Result.Sorted[len(out.Result.Sorted)-8:])
+
+	// Compare against the sequential baseline for the speedup.
+	base, err := repro.Run(repro.Experiment{
+		Algorithm: repro.Radix, Model: repro.Seq,
+		N: size.ScaledN, Procs: 1, Radix: 8, Dist: keys.Gauss,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sequential baseline: %.3f ms -> speedup %.1f\n",
+		base.TimeNs/1e6, base.TimeNs/out.TimeNs)
+}

@@ -1,0 +1,544 @@
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/keys"
+	"repro/internal/machine"
+	"repro/internal/report"
+)
+
+// Options configures a Harness run. Zero values select the paper's full
+// grid on the scaled machine.
+type Options struct {
+	// Procs are the processor counts (default 16, 32, 64).
+	Procs []int
+	// Sizes are the data-set classes (default all five).
+	Sizes []SizeClass
+	// Seed perturbs key generation.
+	Seed uint64
+	// RadixSweep are the radix sizes for Figures 6 and 10 (default 6..12).
+	RadixSweep []int
+	// TableRadixes are the radix candidates swept for Tables 2 and 3
+	// (default 8, 11, 12 — the paper's winners; the full 6..14 sweep is
+	// available but costly).
+	TableRadixes []int
+	// FullSize runs on unscaled Origin2000 parameters.
+	FullSize bool
+	// Progress, when set, receives one line per completed run.
+	Progress func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if len(o.Procs) == 0 {
+		o.Procs = []int{16, 32, 64}
+	}
+	if len(o.Sizes) == 0 {
+		o.Sizes = SizeClasses
+	}
+	if len(o.RadixSweep) == 0 {
+		o.RadixSweep = []int{6, 7, 8, 9, 10, 11, 12}
+	}
+	if len(o.TableRadixes) == 0 {
+		o.TableRadixes = []int{8, 11, 12}
+	}
+	if o.Progress == nil {
+		o.Progress = func(string, ...any) {}
+	}
+	return o
+}
+
+// Harness regenerates the paper's tables and figures. It caches the
+// sequential baselines speedups are measured against.
+type Harness struct {
+	opts     Options
+	baseline map[baselineKey]float64
+}
+
+type baselineKey struct {
+	n     int
+	dist  keys.Dist
+	radix int
+	seed  uint64
+}
+
+// NewHarness builds a harness.
+func NewHarness(opts Options) *Harness {
+	return &Harness{opts: opts.withDefaults(), baseline: make(map[baselineKey]float64)}
+}
+
+// sizeN returns the key count used for a size class.
+func (h *Harness) sizeN(s SizeClass) int {
+	if h.opts.FullSize {
+		return s.PaperN
+	}
+	return s.ScaledN
+}
+
+// BaselineTime returns (computing and caching on first use) the
+// sequential radix sort time for n keys of the given distribution — the
+// paper measures every speedup against this same baseline (radix 8).
+func (h *Harness) BaselineTime(n int, dist keys.Dist) (float64, error) {
+	k := baselineKey{n: n, dist: dist, radix: 8, seed: h.opts.Seed}
+	if t, ok := h.baseline[k]; ok {
+		return t, nil
+	}
+	out, err := Run(Experiment{
+		Algorithm: Radix, Model: Seq, N: n, Procs: 1, Radix: 8,
+		Dist: dist, Seed: h.opts.Seed, FullSize: h.opts.FullSize,
+	})
+	if err != nil {
+		return 0, err
+	}
+	h.opts.Progress("baseline n=%d dist=%v: %s", n, dist, report.Ms(out.TimeNs))
+	h.baseline[k] = out.TimeNs
+	return out.TimeNs, nil
+}
+
+// run executes one experiment with harness-wide settings folded in.
+func (h *Harness) run(e Experiment) (*Outcome, error) {
+	e.Seed = h.opts.Seed
+	e.FullSize = h.opts.FullSize
+	out, err := Run(e)
+	if err != nil {
+		return nil, err
+	}
+	h.opts.Progress("%-6s %-9s n=%-8d p=%-2d r=%-2d %-7v  %s",
+		e.Algorithm, e.Model, e.N, e.Procs, e.Radix, e.Dist, report.Ms(out.TimeNs))
+	return out, nil
+}
+
+// gridKey labels one (size, procs) cell.
+func gridKey(size string, procs int) string { return fmt.Sprintf("%s@%dP", size, procs) }
+
+// SpeedupFigure holds one speedup-vs-configuration figure.
+type SpeedupFigure struct {
+	Title    string
+	Variants []string
+	Procs    []int
+	Sizes    []string
+	// Speedup[variant][gridKey(size, procs)].
+	Speedup map[string]map[string]float64
+}
+
+// Get returns one cell.
+func (f *SpeedupFigure) Get(variant, size string, procs int) float64 {
+	return f.Speedup[variant][gridKey(size, procs)]
+}
+
+// Table renders the figure's series as rows (one per size × procs).
+func (f *SpeedupFigure) Table() *report.Table {
+	t := &report.Table{Title: f.Title, Header: []string{"size", "procs"}}
+	t.Header = append(t.Header, f.Variants...)
+	for _, s := range f.Sizes {
+		for _, p := range f.Procs {
+			row := []string{s, fmt.Sprintf("%d", p)}
+			for _, v := range f.Variants {
+				row = append(row, report.F(f.Get(v, s, p)))
+			}
+			t.AddRow(row...)
+		}
+	}
+	return t
+}
+
+// speedupFigure sweeps a set of (algorithm, model, label) variants.
+func (h *Harness) speedupFigure(title string, alg Algorithm,
+	variants []struct {
+		Label string
+		Model Model
+	}) (*SpeedupFigure, error) {
+	f := &SpeedupFigure{
+		Title:   title,
+		Procs:   h.opts.Procs,
+		Speedup: make(map[string]map[string]float64),
+	}
+	for _, v := range variants {
+		f.Variants = append(f.Variants, v.Label)
+		f.Speedup[v.Label] = make(map[string]float64)
+	}
+	for _, s := range h.opts.Sizes {
+		f.Sizes = append(f.Sizes, s.Label)
+		n := h.sizeN(s)
+		base, err := h.BaselineTime(n, keys.Gauss)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range h.opts.Procs {
+			for _, v := range variants {
+				out, err := h.run(Experiment{
+					Algorithm: alg, Model: v.Model, N: n, Procs: p, Radix: 8, Dist: keys.Gauss,
+				})
+				if err != nil {
+					return nil, err
+				}
+				f.Speedup[v.Label][gridKey(s.Label, p)] = base / out.TimeNs
+			}
+		}
+	}
+	return f, nil
+}
+
+// Table1 reproduces the sequential radix sort times for the Gauss
+// distribution (paper Table 1).
+func (h *Harness) Table1() (*report.Table, []float64, error) {
+	t := &report.Table{
+		Title:  "Table 1: sequential radix sort time, Gauss keys (simulated)",
+		Header: []string{"size", "keys", "time"},
+	}
+	var times []float64
+	for _, s := range h.opts.Sizes {
+		n := h.sizeN(s)
+		base, err := h.BaselineTime(n, keys.Gauss)
+		if err != nil {
+			return nil, nil, err
+		}
+		times = append(times, base)
+		t.AddRow(s.Label, fmt.Sprintf("%d", n), report.Ms(base))
+	}
+	return t, times, nil
+}
+
+// Figure1 compares radix sort under the two MPI implementations
+// (SGI-style staged vs the authors' direct "NEW").
+func (h *Harness) Figure1() (*SpeedupFigure, error) {
+	return h.speedupFigure("Figure 1: radix sort speedups, SGI vs NEW MPI", Radix,
+		[]struct {
+			Label string
+			Model Model
+		}{{"SGI", MPISGI}, {"NEW", MPI}})
+}
+
+// Figure2 is Figure1 for sample sort.
+func (h *Harness) Figure2() (*SpeedupFigure, error) {
+	return h.speedupFigure("Figure 2: sample sort speedups, SGI vs NEW MPI", Sample,
+		[]struct {
+			Label string
+			Model Model
+		}{{"SGI", MPISGI}, {"NEW", MPI}})
+}
+
+// Figure3 compares radix sort across programming models, including the
+// improved CC-SAS-NEW.
+func (h *Harness) Figure3() (*SpeedupFigure, error) {
+	return h.speedupFigure("Figure 3: radix sort speedups across models", Radix,
+		[]struct {
+			Label string
+			Model Model
+		}{{"SHMEM", SHMEM}, {"CC-SAS", CCSAS}, {"MPI", MPI}, {"CC-SAS-NEW", CCSASNew}})
+}
+
+// Figure7 compares sample sort across programming models.
+func (h *Harness) Figure7() (*SpeedupFigure, error) {
+	return h.speedupFigure("Figure 7: sample sort speedups across models", Sample,
+		[]struct {
+			Label string
+			Model Model
+		}{{"SHMEM", SHMEM}, {"CC-SAS", CCSAS}, {"MPI", MPI}})
+}
+
+// BreakdownFigure holds per-processor time decompositions for several
+// program variants (paper Figures 4 and 8).
+type BreakdownFigure struct {
+	Title  string
+	Panels []BreakdownPanel
+}
+
+// BreakdownPanel is one variant's per-processor decomposition.
+type BreakdownPanel struct {
+	Name    string
+	PerProc []machine.Breakdown
+}
+
+// Mean returns the panel's average breakdown across processors.
+func (p *BreakdownPanel) Mean() machine.Breakdown {
+	var sum machine.Breakdown
+	for _, b := range p.PerProc {
+		sum.Add(b)
+	}
+	n := float64(len(p.PerProc))
+	return machine.Breakdown{
+		Busy: sum.Busy / n, LMem: sum.LMem / n, RMem: sum.RMem / n, Sync: sum.Sync / n,
+	}
+}
+
+// Chart renders the panels as stacked per-category charts of the mean
+// breakdown, in microseconds.
+func (f *BreakdownFigure) Chart() string {
+	sb := &report.StackedBreakdown{
+		Title:      f.Title,
+		Categories: []string{"BUSY", "LMEM", "RMEM", "SYNC"},
+	}
+	for _, p := range f.Panels {
+		m := p.Mean()
+		sb.Labels = append(sb.Labels, p.Name)
+		sb.Values = append(sb.Values, []float64{m.Busy / 1e3, m.LMem / 1e3, m.RMem / 1e3, m.Sync / 1e3})
+	}
+	return sb.String()
+}
+
+// breakdownFigure runs the given variants at the paper's breakdown
+// configuration: the 64M-size class on the largest processor count.
+func (h *Harness) breakdownFigure(title string, alg Algorithm, models []Model) (*BreakdownFigure, error) {
+	size, err := SizeByLabel("64M")
+	if err != nil {
+		return nil, err
+	}
+	procs := h.opts.Procs[len(h.opts.Procs)-1]
+	f := &BreakdownFigure{Title: title}
+	for _, mo := range models {
+		out, err := h.run(Experiment{
+			Algorithm: alg, Model: mo, N: h.sizeN(size), Procs: procs, Radix: 8, Dist: keys.Gauss,
+		})
+		if err != nil {
+			return nil, err
+		}
+		f.Panels = append(f.Panels, BreakdownPanel{Name: string(mo), PerProc: out.Breakdowns()})
+	}
+	return f, nil
+}
+
+// Figure4 reproduces the radix sort per-processor time breakdowns.
+func (h *Harness) Figure4() (*BreakdownFigure, error) {
+	return h.breakdownFigure("Figure 4: radix sort time breakdown (64M class)",
+		Radix, []Model{CCSAS, CCSASNew, MPI, SHMEM})
+}
+
+// Figure8 reproduces the sample sort per-processor time breakdowns.
+func (h *Harness) Figure8() (*BreakdownFigure, error) {
+	return h.breakdownFigure("Figure 8: sample sort time breakdown (64M class)",
+		Sample, []Model{CCSAS, MPI, SHMEM})
+}
+
+// RelativeFigure holds execution times relative to a reference variant
+// (paper Figures 5, 6, 9 and 10).
+type RelativeFigure struct {
+	Title     string
+	Reference string
+	Variants  []string
+	Sizes     []string
+	// Relative[variant][size] = time(variant)/time(reference).
+	Relative map[string]map[string]float64
+}
+
+// Get returns one cell.
+func (f *RelativeFigure) Get(variant, size string) float64 {
+	return f.Relative[variant][size]
+}
+
+// Table renders the figure.
+func (f *RelativeFigure) Table() *report.Table {
+	t := &report.Table{Title: f.Title, Header: append([]string{"variant"}, f.Sizes...)}
+	for _, v := range f.Variants {
+		row := []string{v}
+		for _, s := range f.Sizes {
+			row = append(row, report.F(f.Get(v, s)))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// distFigure sweeps key distributions for one algorithm/model at the
+// largest processor count, reporting times relative to Gauss.
+func (h *Harness) distFigure(title string, alg Algorithm, model Model) (*RelativeFigure, error) {
+	procs := h.opts.Procs[len(h.opts.Procs)-1]
+	f := &RelativeFigure{
+		Title:     title,
+		Reference: keys.Gauss.String(),
+		Relative:  make(map[string]map[string]float64),
+	}
+	for _, d := range keys.AllDists {
+		f.Variants = append(f.Variants, d.String())
+		f.Relative[d.String()] = make(map[string]float64)
+	}
+	for _, s := range h.opts.Sizes {
+		f.Sizes = append(f.Sizes, s.Label)
+		n := h.sizeN(s)
+		ref := 0.0
+		for _, d := range keys.AllDists {
+			out, err := h.run(Experiment{
+				Algorithm: alg, Model: model, N: n, Procs: procs, Radix: 8, Dist: d,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if d == keys.Gauss {
+				ref = out.TimeNs
+			}
+			f.Relative[d.String()][s.Label] = out.TimeNs
+		}
+		for _, d := range keys.AllDists {
+			f.Relative[d.String()][s.Label] /= ref
+		}
+	}
+	return f, nil
+}
+
+// Figure5 reproduces the radix sort key-distribution study (SHMEM, max
+// processor count).
+func (h *Harness) Figure5() (*RelativeFigure, error) {
+	return h.distFigure("Figure 5: radix sort time by key distribution (SHMEM), relative to Gauss",
+		Radix, SHMEM)
+}
+
+// Figure9 reproduces the sample sort key-distribution study (CC-SAS).
+func (h *Harness) Figure9() (*RelativeFigure, error) {
+	return h.distFigure("Figure 9: sample sort time by key distribution (CC-SAS), relative to Gauss",
+		Sample, CCSAS)
+}
+
+// radixFigure sweeps radix sizes relative to radix 8 at the largest
+// processor count.
+func (h *Harness) radixFigure(title string, alg Algorithm, model Model) (*RelativeFigure, error) {
+	procs := h.opts.Procs[len(h.opts.Procs)-1]
+	f := &RelativeFigure{
+		Title:     title,
+		Reference: "radix 8",
+		Relative:  make(map[string]map[string]float64),
+	}
+	for _, r := range h.opts.RadixSweep {
+		name := fmt.Sprintf("r=%d", r)
+		f.Variants = append(f.Variants, name)
+		f.Relative[name] = make(map[string]float64)
+	}
+	for _, s := range h.opts.Sizes {
+		f.Sizes = append(f.Sizes, s.Label)
+		n := h.sizeN(s)
+		times := make(map[int]float64)
+		for _, r := range h.opts.RadixSweep {
+			out, err := h.run(Experiment{
+				Algorithm: alg, Model: model, N: n, Procs: procs, Radix: r, Dist: keys.Gauss,
+			})
+			if err != nil {
+				return nil, err
+			}
+			times[r] = out.TimeNs
+		}
+		ref, ok := times[8]
+		if !ok {
+			// Normalize to the first swept radix when 8 is not in the sweep.
+			ref = times[h.opts.RadixSweep[0]]
+		}
+		for _, r := range h.opts.RadixSweep {
+			f.Relative[fmt.Sprintf("r=%d", r)][s.Label] = times[r] / ref
+		}
+	}
+	return f, nil
+}
+
+// Figure6 reproduces the radix-size study for radix sort (SHMEM).
+func (h *Harness) Figure6() (*RelativeFigure, error) {
+	return h.radixFigure("Figure 6: radix sort time by radix size (SHMEM), relative to radix 8",
+		Radix, SHMEM)
+}
+
+// Figure10 reproduces the radix-size study for sample sort (CC-SAS).
+func (h *Harness) Figure10() (*RelativeFigure, error) {
+	return h.radixFigure("Figure 10: sample sort time by radix size (CC-SAS), relative to radix 8",
+		Sample, CCSAS)
+}
+
+// BestCell is one Table 2/3 entry: the best time over models and radix
+// candidates, and which combination won.
+type BestCell struct {
+	TimeNs float64
+	Model  Model
+	Radix  int
+}
+
+// BestTables holds Tables 2 and 3: Best[algorithm][size][procs].
+type BestTables struct {
+	Sizes []string
+	Procs []int
+	Best  map[Algorithm]map[string]map[int]BestCell
+}
+
+// Tables23 sweeps models × radix candidates to find the best combination
+// per cell, reproducing Tables 2 and 3 together.
+func (h *Harness) Tables23() (*BestTables, error) {
+	bt := &BestTables{
+		Procs: h.opts.Procs,
+		Best:  map[Algorithm]map[string]map[int]BestCell{Radix: {}, Sample: {}},
+	}
+	// The paper's Table 2 picks the best over the three programming
+	// models (CC-SAS there means the better of original and NEW).
+	variants := map[Algorithm][]Model{
+		Radix:  {CCSAS, CCSASNew, MPI, SHMEM},
+		Sample: {CCSAS, MPI, SHMEM},
+	}
+	for _, s := range h.opts.Sizes {
+		bt.Sizes = append(bt.Sizes, s.Label)
+		n := h.sizeN(s)
+		for _, alg := range []Algorithm{Radix, Sample} {
+			if bt.Best[alg][s.Label] == nil {
+				bt.Best[alg][s.Label] = make(map[int]BestCell)
+			}
+			for _, p := range h.opts.Procs {
+				best := BestCell{TimeNs: -1}
+				for _, mo := range variants[alg] {
+					for _, r := range h.opts.TableRadixes {
+						out, err := h.run(Experiment{
+							Algorithm: alg, Model: mo, N: n, Procs: p, Radix: r, Dist: keys.Gauss,
+						})
+						if err != nil {
+							return nil, err
+						}
+						if best.TimeNs < 0 || out.TimeNs < best.TimeNs {
+							best = BestCell{TimeNs: out.TimeNs, Model: mo, Radix: r}
+						}
+					}
+				}
+				bt.Best[alg][s.Label][p] = best
+			}
+		}
+	}
+	return bt, nil
+}
+
+// Table2 renders the best execution times (paper Table 2).
+func (bt *BestTables) Table2() *report.Table {
+	t := &report.Table{
+		Title:  "Table 2: best execution time (simulated), Gauss keys",
+		Header: []string{"size"},
+	}
+	for _, alg := range []Algorithm{Radix, Sample} {
+		for _, p := range bt.Procs {
+			t.Header = append(t.Header, fmt.Sprintf("%s %dP", alg, p))
+		}
+	}
+	for _, s := range bt.Sizes {
+		row := []string{s}
+		for _, alg := range []Algorithm{Radix, Sample} {
+			for _, p := range bt.Procs {
+				row = append(row, report.Ms(bt.Best[alg][s][p].TimeNs))
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Table3 renders the winning model and radix per cell (paper Table 3).
+func (bt *BestTables) Table3() *report.Table {
+	t := &report.Table{
+		Title:  "Table 3: best model and radix size per configuration",
+		Header: []string{"size"},
+	}
+	for _, alg := range []Algorithm{Radix, Sample} {
+		for _, p := range bt.Procs {
+			t.Header = append(t.Header, fmt.Sprintf("%s %dP", alg, p))
+		}
+	}
+	for _, s := range bt.Sizes {
+		row := []string{s}
+		for _, alg := range []Algorithm{Radix, Sample} {
+			for _, p := range bt.Procs {
+				c := bt.Best[alg][s][p]
+				row = append(row, fmt.Sprintf("%s %d", c.Model, c.Radix))
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

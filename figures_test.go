@@ -1,0 +1,209 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/keys"
+)
+
+// tinyOpts keeps harness tests fast: two small classes, two processor
+// counts, a narrow radix sweep.
+func tinyOpts() Options {
+	return Options{
+		Procs:        []int{4, 8},
+		Sizes:        SizeClasses[:2],
+		RadixSweep:   []int{7, 8},
+		TableRadixes: []int{8},
+	}
+}
+
+func TestHarnessTable1(t *testing.T) {
+	h := NewHarness(tinyOpts())
+	tab, times, err := h.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 2 {
+		t.Fatalf("got %d times", len(times))
+	}
+	if times[1] <= times[0] {
+		t.Errorf("sequential time should grow with size: %v", times)
+	}
+	// 4x the keys must cost at least 4x the time (capacity effects only
+	// add on top).
+	if times[1] < 3.9*times[0] {
+		t.Errorf("4x keys cost only %.2fx the time", times[1]/times[0])
+	}
+	if !strings.Contains(tab.String(), "1M") {
+		t.Error("table missing size labels")
+	}
+}
+
+func TestHarnessBaselineCaching(t *testing.T) {
+	h := NewHarness(tinyOpts())
+	a, err := h.BaselineTime(SizeClasses[0].ScaledN, keys.Gauss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.BaselineTime(SizeClasses[0].ScaledN, keys.Gauss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("cached baseline differs: %v vs %v", a, b)
+	}
+	if len(h.baseline) != 1 {
+		t.Errorf("baseline cache holds %d entries, want 1", len(h.baseline))
+	}
+}
+
+func TestHarnessFigure1Shape(t *testing.T) {
+	h := NewHarness(tinyOpts())
+	f, err := h.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NEW must beat SGI in every cell for radix sort.
+	for _, s := range f.Sizes {
+		for _, p := range f.Procs {
+			if f.Get("NEW", s, p) <= f.Get("SGI", s, p) {
+				t.Errorf("%s@%dP: NEW (%v) should beat SGI (%v)",
+					s, p, f.Get("NEW", s, p), f.Get("SGI", s, p))
+			}
+		}
+	}
+	if !strings.Contains(f.Table().String(), "NEW") {
+		t.Error("rendered table missing variant")
+	}
+}
+
+func TestHarnessFigure3Shape(t *testing.T) {
+	h := NewHarness(tinyOpts())
+	f, err := h.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the 4M class, SHMEM beats the original CC-SAS.
+	if f.Get("SHMEM", "4M", 8) <= f.Get("CC-SAS", "4M", 8) {
+		t.Errorf("SHMEM (%v) should beat CC-SAS (%v) at the 4M class",
+			f.Get("SHMEM", "4M", 8), f.Get("CC-SAS", "4M", 8))
+	}
+	for _, v := range f.Variants {
+		for _, s := range f.Sizes {
+			for _, p := range f.Procs {
+				if f.Get(v, s, p) <= 0 {
+					t.Errorf("%s %s@%dP: nonpositive speedup", v, s, p)
+				}
+			}
+		}
+	}
+}
+
+func TestHarnessFigure4Breakdown(t *testing.T) {
+	h := NewHarness(Options{Procs: []int{8}, Sizes: SizeClasses[:1]})
+	f, err := h.Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Panels) != 4 {
+		t.Fatalf("got %d panels, want 4", len(f.Panels))
+	}
+	for _, panel := range f.Panels {
+		if len(panel.PerProc) != 8 {
+			t.Errorf("panel %s has %d procs", panel.Name, len(panel.PerProc))
+		}
+		if panel.Mean().Total() <= 0 {
+			t.Errorf("panel %s empty", panel.Name)
+		}
+	}
+	if !strings.Contains(f.Chart(), "BUSY") {
+		t.Error("chart missing legend")
+	}
+}
+
+func TestHarnessFigure5Shape(t *testing.T) {
+	h := NewHarness(Options{Procs: []int{8}, Sizes: SizeClasses[:1]})
+	f, err := h.Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gauss is the reference: exactly 1.
+	if got := f.Get("gauss", "1M"); got != 1 {
+		t.Errorf("gauss relative time = %v, want 1", got)
+	}
+	// Local is fastest.
+	for _, v := range f.Variants {
+		if v == "local" {
+			continue
+		}
+		if f.Get("local", "1M") > f.Get(v, "1M") {
+			t.Errorf("local (%v) slower than %s (%v)", f.Get("local", "1M"), v, f.Get(v, "1M"))
+		}
+	}
+}
+
+func TestHarnessFigure6Shape(t *testing.T) {
+	h := NewHarness(Options{Procs: []int{8}, Sizes: SizeClasses[:2], RadixSweep: []int{6, 8, 12}})
+	f, err := h.Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Get("r=8", "1M"); got != 1 {
+		t.Errorf("r=8 must be the reference, got %v", got)
+	}
+	// A radix far too large for the data is worse than r=8 at the
+	// smallest class (too many buckets per key).
+	if f.Get("r=12", "1M") <= 1 {
+		t.Errorf("r=12 at the smallest class should lose to r=8, got %v", f.Get("r=12", "1M"))
+	}
+}
+
+func TestHarnessTables23(t *testing.T) {
+	h := NewHarness(Options{Procs: []int{8}, Sizes: SizeClasses[:2], TableRadixes: []int{8, 11}})
+	bt, err := h.Tables23()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{Radix, Sample} {
+		for _, s := range bt.Sizes {
+			cell := bt.Best[alg][s][8]
+			if cell.TimeNs <= 0 {
+				t.Errorf("%s/%s: empty best cell", alg, s)
+			}
+			if cell.Model == "" || cell.Radix == 0 {
+				t.Errorf("%s/%s: missing winner %+v", alg, s, cell)
+			}
+		}
+	}
+	t2 := bt.Table2().String()
+	t3 := bt.Table3().String()
+	if !strings.Contains(t2, "radix 8P") || !strings.Contains(t3, "sample 8P") {
+		t.Error("rendered tables missing headers")
+	}
+}
+
+func TestHarnessProgressCallback(t *testing.T) {
+	var lines int
+	opts := Options{
+		Procs: []int{4}, Sizes: SizeClasses[:1],
+		Progress: func(string, ...any) { lines++ },
+	}
+	h := NewHarness(opts)
+	if _, _, err := h.Table1(); err != nil {
+		t.Fatal(err)
+	}
+	if lines == 0 {
+		t.Error("progress callback never fired")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if len(o.Procs) != 3 || len(o.Sizes) != 5 || len(o.RadixSweep) != 7 {
+		t.Errorf("defaults wrong: %+v", o)
+	}
+	if o.Progress == nil {
+		t.Error("nil progress not defaulted")
+	}
+}

@@ -1,0 +1,241 @@
+// Package cache provides deterministic per-processor cache and TLB
+// models for the DSM machine simulator.
+//
+// The cache is a set-associative, write-back, write-allocate cache with
+// LRU replacement, modeled at line granularity: it tracks tags and dirty
+// bits but not data (the simulator keeps real data in ordinary Go slices;
+// the cache model exists purely to count hits, misses, and writebacks).
+// The TLB is a fully-associative LRU translation buffer modeled at page
+// granularity.
+//
+// Both models are private to one simulated processor and are therefore
+// free of locks; the coherence protocol between processors is priced
+// separately by package coherence.
+package cache
+
+import "fmt"
+
+// Addr is a simulated physical address in the machine's global address
+// space.
+type Addr uint64
+
+// Config describes a cache's geometry.
+type Config struct {
+	// Size is the total capacity in bytes.
+	Size int
+	// LineSize is the line (block) size in bytes. Must be a power of two.
+	LineSize int
+	// Ways is the set associativity. The Origin2000's L2 is 2-way.
+	Ways int
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Size <= 0 || c.LineSize <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("cache: size, line size and ways must be positive: %+v", c)
+	}
+	if c.LineSize&(c.LineSize-1) != 0 {
+		return fmt.Errorf("cache: line size %d is not a power of two", c.LineSize)
+	}
+	if c.Size%(c.LineSize*c.Ways) != 0 {
+		return fmt.Errorf("cache: size %d not divisible by line size * ways (%d)",
+			c.Size, c.LineSize*c.Ways)
+	}
+	sets := c.Size / (c.LineSize * c.Ways)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d is not a power of two", sets)
+	}
+	return nil
+}
+
+// AccessResult describes what happened on one cache access.
+type AccessResult struct {
+	// Hit is true when the line was present.
+	Hit bool
+	// WritebackAddr is the address of a dirty line evicted to make room,
+	// valid only when WriteBack is true.
+	WritebackAddr Addr
+	// WriteBack is true when a dirty victim was evicted.
+	WriteBack bool
+}
+
+// Stats accumulates cache event counts.
+type Stats struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	Writebacks uint64
+}
+
+// MissRate returns misses/accesses, or 0 for an untouched cache.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	// lru is a per-set sequence number; the smallest is the LRU victim.
+	lru uint64
+}
+
+// Cache is a set-associative write-back cache model.
+type Cache struct {
+	cfg       Config
+	sets      int
+	lineShift uint
+	setMask   uint64
+	lines     []line // sets*ways, set-major
+	tick      uint64
+	stats     Stats
+}
+
+// New builds a cache with the given geometry. It panics if the
+// configuration is invalid; geometries come from static machine presets.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := cfg.Size / (cfg.LineSize * cfg.Ways)
+	shift := uint(0)
+	for 1<<shift < cfg.LineSize {
+		shift++
+	}
+	return &Cache{
+		cfg:       cfg,
+		sets:      sets,
+		lineShift: shift,
+		setMask:   uint64(sets - 1),
+		lines:     make([]line, sets*cfg.Ways),
+	}
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Stats returns a snapshot of the event counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// LineAddr returns the line-aligned address containing a.
+func (c *Cache) LineAddr(a Addr) Addr {
+	return a &^ Addr(c.cfg.LineSize-1)
+}
+
+// Access simulates one access to address a. write marks the line dirty.
+// The returned result reports hit/miss and any dirty eviction.
+func (c *Cache) Access(a Addr, write bool) AccessResult {
+	c.tick++
+	c.stats.Accesses++
+	lineNum := uint64(a) >> c.lineShift
+	set := int(lineNum & c.setMask)
+	tag := lineNum >> uint(log2(c.sets))
+	base := set * c.cfg.Ways
+
+	// Hit path.
+	for i := 0; i < c.cfg.Ways; i++ {
+		ln := &c.lines[base+i]
+		if ln.valid && ln.tag == tag {
+			ln.lru = c.tick
+			if write {
+				ln.dirty = true
+			}
+			c.stats.Hits++
+			return AccessResult{Hit: true}
+		}
+	}
+
+	// Miss: pick an invalid way, else the LRU way.
+	c.stats.Misses++
+	victim := -1
+	var oldest uint64
+	for i := 0; i < c.cfg.Ways; i++ {
+		ln := &c.lines[base+i]
+		if !ln.valid {
+			victim = i
+			break
+		}
+		if victim == -1 || ln.lru < oldest {
+			victim = i
+			oldest = ln.lru
+		}
+	}
+	ln := &c.lines[base+victim]
+	res := AccessResult{}
+	if ln.valid && ln.dirty {
+		res.WriteBack = true
+		res.WritebackAddr = c.reconstruct(ln.tag, set)
+		c.stats.Writebacks++
+	}
+	ln.valid = true
+	ln.dirty = write
+	ln.tag = tag
+	ln.lru = c.tick
+	return res
+}
+
+// Contains reports whether the line holding a is currently cached.
+func (c *Cache) Contains(a Addr) bool {
+	lineNum := uint64(a) >> c.lineShift
+	set := int(lineNum & c.setMask)
+	tag := lineNum >> uint(log2(c.sets))
+	base := set * c.cfg.Ways
+	for i := 0; i < c.cfg.Ways; i++ {
+		ln := &c.lines[base+i]
+		if ln.valid && ln.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate drops the line holding a, if present, and reports whether it
+// was dirty (the caller prices the resulting writeback transaction).
+func (c *Cache) Invalidate(a Addr) (present, dirty bool) {
+	lineNum := uint64(a) >> c.lineShift
+	set := int(lineNum & c.setMask)
+	tag := lineNum >> uint(log2(c.sets))
+	base := set * c.cfg.Ways
+	for i := 0; i < c.cfg.Ways; i++ {
+		ln := &c.lines[base+i]
+		if ln.valid && ln.tag == tag {
+			d := ln.dirty
+			ln.valid = false
+			ln.dirty = false
+			return true, d
+		}
+	}
+	return false, false
+}
+
+// Flush invalidates every line and returns the number of dirty lines
+// dropped.
+func (c *Cache) Flush() int {
+	dirty := 0
+	for i := range c.lines {
+		if c.lines[i].valid && c.lines[i].dirty {
+			dirty++
+		}
+		c.lines[i] = line{}
+	}
+	return dirty
+}
+
+func (c *Cache) reconstruct(tag uint64, set int) Addr {
+	lineNum := tag<<uint(log2(c.sets)) | uint64(set)
+	return Addr(lineNum << c.lineShift)
+}
+
+func log2(n int) int {
+	k := 0
+	for 1<<k < n {
+		k++
+	}
+	return k
+}

@@ -1,0 +1,223 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func small() *Cache {
+	// 4 sets x 2 ways x 64-byte lines = 512 bytes.
+	return New(Config{Size: 512, LineSize: 64, Ways: 2})
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Size: 4 << 20, LineSize: 128, Ways: 2}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{Size: 0, LineSize: 128, Ways: 2},
+		{Size: 4096, LineSize: 0, Ways: 2},
+		{Size: 4096, LineSize: 128, Ways: 0},
+		{Size: 4096, LineSize: 100, Ways: 2},        // line size not power of two
+		{Size: 4096 + 128, LineSize: 128, Ways: 2},  // not divisible
+		{Size: 128 * 2 * 3, LineSize: 128, Ways: 2}, // 3 sets: not power of two
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("invalid config accepted: %+v", c)
+		}
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := small()
+	if res := c.Access(0x100, false); res.Hit {
+		t.Error("first access should miss")
+	}
+	if res := c.Access(0x100, false); !res.Hit {
+		t.Error("second access should hit")
+	}
+	// Another address in the same line also hits.
+	if res := c.Access(0x13f, false); !res.Hit {
+		t.Error("same-line access should hit")
+	}
+	// Next line misses.
+	if res := c.Access(0x140, false); res.Hit {
+		t.Error("next-line access should miss")
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	c := small()
+	// Three lines mapping to the same set (set stride = sets*line = 4*64 = 256).
+	a, b, d := Addr(0), Addr(256), Addr(512)
+	c.Access(a, false)
+	c.Access(b, false)
+	c.Access(a, false) // a is now MRU, b is LRU
+	c.Access(d, false) // evicts b
+	if !c.Contains(a) {
+		t.Error("a should survive (MRU)")
+	}
+	if c.Contains(b) {
+		t.Error("b should be evicted (LRU)")
+	}
+	if !c.Contains(d) {
+		t.Error("d should be present")
+	}
+}
+
+func TestDirtyWriteback(t *testing.T) {
+	c := small()
+	a, b, d := Addr(0), Addr(256), Addr(512)
+	c.Access(a, true) // dirty
+	c.Access(b, false)
+	res := c.Access(d, false) // evicts a (LRU, dirty)
+	if !res.WriteBack {
+		t.Fatal("expected a writeback")
+	}
+	if res.WritebackAddr != a {
+		t.Errorf("writeback addr = %#x, want %#x", res.WritebackAddr, a)
+	}
+	if got := c.Stats().Writebacks; got != 1 {
+		t.Errorf("writebacks = %d, want 1", got)
+	}
+}
+
+func TestCleanEvictionNoWriteback(t *testing.T) {
+	c := small()
+	c.Access(0, false)
+	c.Access(256, false)
+	res := c.Access(512, false)
+	if res.WriteBack {
+		t.Error("clean eviction should not write back")
+	}
+}
+
+func TestWriteHitMarksDirty(t *testing.T) {
+	c := small()
+	c.Access(0, false) // clean fill
+	c.Access(0, true)  // write hit marks dirty
+	c.Access(256, false)
+	res := c.Access(512, false) // evicts line 0
+	if !res.WriteBack || res.WritebackAddr != 0 {
+		t.Errorf("expected writeback of line 0, got %+v", res)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := small()
+	c.Access(0x40, true)
+	present, dirty := c.Invalidate(0x40)
+	if !present || !dirty {
+		t.Errorf("Invalidate = (%v,%v), want (true,true)", present, dirty)
+	}
+	if c.Contains(0x40) {
+		t.Error("line should be gone after invalidate")
+	}
+	present, dirty = c.Invalidate(0x40)
+	if present || dirty {
+		t.Errorf("second Invalidate = (%v,%v), want (false,false)", present, dirty)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := small()
+	c.Access(0, true)
+	c.Access(64, false)
+	c.Access(128, true)
+	if got := c.Flush(); got != 2 {
+		t.Errorf("Flush dropped %d dirty lines, want 2", got)
+	}
+	for _, a := range []Addr{0, 64, 128} {
+		if c.Contains(a) {
+			t.Errorf("line %#x survived flush", a)
+		}
+	}
+}
+
+func TestStatsConsistency(t *testing.T) {
+	c := small()
+	f := func(addrs []uint16) bool {
+		for _, a := range addrs {
+			c.Access(Addr(a), a%2 == 0)
+		}
+		s := c.Stats()
+		return s.Hits+s.Misses == s.Accesses && s.Writebacks <= s.Misses
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkingSetFitsAllHitsAfterWarmup(t *testing.T) {
+	// Property: once a working set no larger than the cache has been
+	// touched, re-walking it sequentially produces no misses (no
+	// conflict misses for a contiguous region filling the cache exactly).
+	c := New(Config{Size: 4096, LineSize: 64, Ways: 2})
+	for a := Addr(0); a < 4096; a += 64 {
+		c.Access(a, false)
+	}
+	before := c.Stats().Misses
+	for a := Addr(0); a < 4096; a += 64 {
+		if res := c.Access(a, false); !res.Hit {
+			t.Fatalf("address %#x missed on re-walk", a)
+		}
+	}
+	if c.Stats().Misses != before {
+		t.Error("misses increased during re-walk")
+	}
+}
+
+func TestWorkingSetExceedsCacheThrashes(t *testing.T) {
+	// Walking a region 2x the cache capacity repeatedly should miss every
+	// line with LRU replacement (the classic sequential-thrash pattern).
+	c := New(Config{Size: 4096, LineSize: 64, Ways: 2})
+	for round := 0; round < 3; round++ {
+		for a := Addr(0); a < 8192; a += 64 {
+			c.Access(a, false)
+		}
+	}
+	s := c.Stats()
+	if s.Hits != 0 {
+		t.Errorf("expected pure thrashing (0 hits), got %d hits", s.Hits)
+	}
+}
+
+func TestLineAddr(t *testing.T) {
+	c := small()
+	cases := []struct{ in, want Addr }{
+		{0, 0}, {63, 0}, {64, 64}, {127, 64}, {1000, 960},
+	}
+	for _, cse := range cases {
+		if got := c.LineAddr(cse.in); got != cse.want {
+			t.Errorf("LineAddr(%d) = %d, want %d", cse.in, got, cse.want)
+		}
+	}
+}
+
+func TestWritebackAddressReconstruction(t *testing.T) {
+	// Property: whenever a writeback occurs, the reported address is
+	// line-aligned and maps to the same set as the new address.
+	c := small()
+	f := func(addrs []uint16) bool {
+		for _, raw := range addrs {
+			a := Addr(raw)
+			res := c.Access(a, true)
+			if res.WriteBack {
+				wa := res.WritebackAddr
+				if wa != c.LineAddr(wa) {
+					return false
+				}
+				// Same set: bits [6:8) must match.
+				if (uint64(wa)>>6)&3 != (uint64(a)>>6)&3 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,104 @@
+package cache
+
+import "fmt"
+
+// TLBConfig describes a translation lookaside buffer.
+type TLBConfig struct {
+	// Entries is the number of translations held. The MIPS R10000 has a
+	// 64-entry TLB.
+	Entries int
+	// PageSize is the page size in bytes. Must be a power of two. The
+	// Origin2000 default is 16 KB; the paper's experiments use 64 KB and
+	// 256 KB pages.
+	PageSize int
+}
+
+// Validate reports whether the configuration is usable.
+func (c TLBConfig) Validate() error {
+	if c.Entries <= 0 {
+		return fmt.Errorf("tlb: entries must be positive, got %d", c.Entries)
+	}
+	if c.PageSize <= 0 || c.PageSize&(c.PageSize-1) != 0 {
+		return fmt.Errorf("tlb: page size %d must be a positive power of two", c.PageSize)
+	}
+	return nil
+}
+
+// TLBStats accumulates TLB event counts.
+type TLBStats struct {
+	Accesses uint64
+	Misses   uint64
+}
+
+// MissRate returns misses/accesses, or 0 for an untouched TLB.
+func (s TLBStats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// TLB is a fully-associative translation buffer model with FIFO
+// replacement (the R10000's TLB uses random replacement; FIFO is a
+// deterministic stand-in with the same capacity behavior and O(1) cost).
+type TLB struct {
+	cfg       TLBConfig
+	pageShift uint
+	// entries maps page number -> presence; ring is the FIFO eviction
+	// order.
+	entries map[uint64]bool
+	ring    []uint64
+	head    int
+	stats   TLBStats
+}
+
+// NewTLB builds a TLB. It panics on invalid configuration; geometries
+// come from static machine presets.
+func NewTLB(cfg TLBConfig) *TLB {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	shift := uint(0)
+	for 1<<shift < cfg.PageSize {
+		shift++
+	}
+	return &TLB{
+		cfg:       cfg,
+		pageShift: shift,
+		entries:   make(map[uint64]bool, cfg.Entries),
+		ring:      make([]uint64, 0, cfg.Entries),
+	}
+}
+
+// Config returns the TLB geometry.
+func (t *TLB) Config() TLBConfig { return t.cfg }
+
+// Stats returns a snapshot of the event counters.
+func (t *TLB) Stats() TLBStats { return t.stats }
+
+// Access simulates a translation of address a and reports whether it
+// missed.
+func (t *TLB) Access(a Addr) (miss bool) {
+	t.stats.Accesses++
+	page := uint64(a) >> t.pageShift
+	if t.entries[page] {
+		return false
+	}
+	t.stats.Misses++
+	if len(t.ring) < t.cfg.Entries {
+		t.ring = append(t.ring, page)
+	} else {
+		delete(t.entries, t.ring[t.head])
+		t.ring[t.head] = page
+		t.head = (t.head + 1) % t.cfg.Entries
+	}
+	t.entries[page] = true
+	return true
+}
+
+// Flush drops all translations.
+func (t *TLB) Flush() {
+	clear(t.entries)
+	t.ring = t.ring[:0]
+	t.head = 0
+}

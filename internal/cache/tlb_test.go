@@ -1,0 +1,107 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTLBConfigValidate(t *testing.T) {
+	if err := (TLBConfig{Entries: 64, PageSize: 16384}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := []TLBConfig{
+		{Entries: 0, PageSize: 16384},
+		{Entries: 64, PageSize: 0},
+		{Entries: 64, PageSize: 1000},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("invalid config accepted: %+v", c)
+		}
+	}
+}
+
+func TestTLBMissThenHit(t *testing.T) {
+	tlb := NewTLB(TLBConfig{Entries: 4, PageSize: 1024})
+	if !tlb.Access(0) {
+		t.Error("first access should miss")
+	}
+	if tlb.Access(0) {
+		t.Error("second access should hit")
+	}
+	if tlb.Access(500) {
+		t.Error("same-page access should hit")
+	}
+	if !tlb.Access(1024) {
+		t.Error("next-page access should miss")
+	}
+}
+
+func TestTLBFIFOEviction(t *testing.T) {
+	tlb := NewTLB(TLBConfig{Entries: 2, PageSize: 1024})
+	tlb.Access(0 * 1024) // page 0 (oldest)
+	tlb.Access(1 * 1024) // page 1
+	tlb.Access(0 * 1024) // hit; FIFO order unchanged
+	tlb.Access(2 * 1024) // evicts page 0 (first in)
+	if !tlb.Access(0 * 1024) {
+		t.Error("page 0 should have been evicted (FIFO)") // this access evicts page 1
+	}
+	if tlb.Access(2 * 1024) {
+		t.Error("page 2 should have survived")
+	}
+}
+
+func TestTLBCapacityBound(t *testing.T) {
+	tlb := NewTLB(TLBConfig{Entries: 8, PageSize: 4096})
+	for p := 0; p < 100; p++ {
+		tlb.Access(Addr(p * 4096))
+	}
+	if len(tlb.entries) > 8 {
+		t.Errorf("TLB holds %d entries, cap is 8", len(tlb.entries))
+	}
+}
+
+func TestTLBStats(t *testing.T) {
+	tlb := NewTLB(TLBConfig{Entries: 4, PageSize: 1024})
+	f := func(addrs []uint16) bool {
+		for _, a := range addrs {
+			tlb.Access(Addr(a))
+		}
+		s := tlb.Stats()
+		return s.Misses <= s.Accesses
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTLBFlush(t *testing.T) {
+	tlb := NewTLB(TLBConfig{Entries: 4, PageSize: 1024})
+	tlb.Access(0)
+	tlb.Flush()
+	if !tlb.Access(0) {
+		t.Error("access after flush should miss")
+	}
+}
+
+func TestTLBMissRate(t *testing.T) {
+	var s TLBStats
+	if s.MissRate() != 0 {
+		t.Error("empty stats should have miss rate 0")
+	}
+	s = TLBStats{Accesses: 10, Misses: 5}
+	if s.MissRate() != 0.5 {
+		t.Errorf("miss rate = %v, want 0.5", s.MissRate())
+	}
+}
+
+func TestCacheMissRate(t *testing.T) {
+	var s Stats
+	if s.MissRate() != 0 {
+		t.Error("empty stats should have miss rate 0")
+	}
+	s = Stats{Accesses: 4, Misses: 1}
+	if s.MissRate() != 0.25 {
+		t.Errorf("miss rate = %v, want 0.25", s.MissRate())
+	}
+}

@@ -1,0 +1,214 @@
+package ccsas
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+)
+
+func world(t *testing.T, procs int) *World {
+	t.Helper()
+	m, err := machine.New(machine.Origin2000Scaled(procs))
+	if err != nil {
+		t.Fatalf("machine.New: %v", err)
+	}
+	return NewWorld(m)
+}
+
+func TestFlagOrdersTime(t *testing.T) {
+	w := world(t, 2)
+	f := NewFlag(w)
+	res := w.M.Run(func(p *machine.Proc) {
+		if p.ID == 0 {
+			p.Compute(10000)
+			f.Set(p)
+		} else {
+			f.Wait(p)
+			if p.Now() < 10000*w.M.Config().OpNs {
+				t.Errorf("waiter released at %v, before setter's work finished", p.Now())
+			}
+			if p.Stats().Breakdown.Sync == 0 {
+				t.Error("waiter charged no sync time")
+			}
+		}
+	})
+	_ = res
+}
+
+func TestFlagNoWaitWhenLate(t *testing.T) {
+	w := world(t, 2)
+	f := NewFlag(w)
+	w.M.Run(func(p *machine.Proc) {
+		if p.ID == 0 {
+			f.Set(p) // sets at ~0
+		} else {
+			p.Compute(100000) // arrives long after
+			before := p.Stats().Breakdown.Sync
+			f.Wait(p)
+			// Flag was set long ago: only the (already elapsed) propagation
+			// could matter, which is in the past, so no sync charge.
+			if got := p.Stats().Breakdown.Sync - before; got != 0 {
+				t.Errorf("late waiter charged %v sync, want 0", got)
+			}
+		}
+	})
+}
+
+// reduceAll runs one PrefixTree episode on every processor and collects
+// ranks and totals.
+func reduceAll(t *testing.T, procs, buckets int, hist func(id int) []int32) (ranks [][]int32, totals [][]int32) {
+	t.Helper()
+	w := world(t, procs)
+	tree := NewPrefixTree(w, buckets)
+	ranks = make([][]int32, procs)
+	totals = make([][]int32, procs)
+	w.M.Run(func(p *machine.Proc) {
+		r, tot := tree.Reduce(p, hist(p.ID))
+		ranks[p.ID] = r
+		totals[p.ID] = tot
+	})
+	return ranks, totals
+}
+
+func TestPrefixTreeSmall(t *testing.T) {
+	// 4 procs, 2 buckets. hist[i] = [i+1, 10*(i+1)].
+	ranks, totals := reduceAll(t, 4, 2, func(id int) []int32 {
+		return []int32{int32(id + 1), int32(10 * (id + 1))}
+	})
+	// total = [1+2+3+4, 10+20+30+40] = [10, 100]
+	for i, tot := range totals {
+		if tot[0] != 10 || tot[1] != 100 {
+			t.Errorf("proc %d totals = %v, want [10 100]", i, tot)
+		}
+	}
+	// rank[i] = exclusive prefix: [0,0], [1,10], [3,30], [6,60]
+	want := [][]int32{{0, 0}, {1, 10}, {3, 30}, {6, 60}}
+	for i := range ranks {
+		if ranks[i][0] != want[i][0] || ranks[i][1] != want[i][1] {
+			t.Errorf("proc %d rank = %v, want %v", i, ranks[i], want[i])
+		}
+	}
+}
+
+func TestPrefixTreeSingleProc(t *testing.T) {
+	ranks, totals := reduceAll(t, 1, 3, func(id int) []int32 {
+		return []int32{5, 6, 7}
+	})
+	if ranks[0][0] != 0 || ranks[0][1] != 0 || ranks[0][2] != 0 {
+		t.Errorf("single-proc rank = %v, want zeros", ranks[0])
+	}
+	if totals[0][0] != 5 || totals[0][1] != 6 || totals[0][2] != 7 {
+		t.Errorf("single-proc total = %v", totals[0])
+	}
+}
+
+func TestPrefixTreeMatchesSequentialScan(t *testing.T) {
+	// Property: for random histograms, the tree's output equals a
+	// sequential exclusive scan.
+	f := func(seed uint32) bool {
+		const procs, buckets = 8, 16
+		hists := make([][]int32, procs)
+		s := seed
+		for i := range hists {
+			hists[i] = make([]int32, buckets)
+			for b := range hists[i] {
+				s = s*1664525 + 1013904223
+				hists[i][b] = int32(s % 1000)
+			}
+		}
+		ranks, totals := reduceAll(t, procs, buckets, func(id int) []int32 { return hists[id] })
+		for b := 0; b < buckets; b++ {
+			var run int32
+			for i := 0; i < procs; i++ {
+				if ranks[i][b] != run {
+					return false
+				}
+				run += hists[i][b]
+			}
+			for i := 0; i < procs; i++ {
+				if totals[i][b] != run {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrefixTreeReusableAcrossEpisodes(t *testing.T) {
+	// Radix sort reuses the tree once per pass; values from pass k must
+	// not leak into pass k+1.
+	w := world(t, 4)
+	tree := NewPrefixTree(w, 4)
+	w.M.Run(func(p *machine.Proc) {
+		for pass := 1; pass <= 3; pass++ {
+			h := []int32{int32(pass), 0, int32(p.ID), 1}
+			rank, total := tree.Reduce(p, h)
+			if total[0] != int32(4*pass) {
+				t.Errorf("pass %d proc %d total[0] = %d, want %d", pass, p.ID, total[0], 4*pass)
+			}
+			if total[2] != 0+1+2+3 {
+				t.Errorf("pass %d total[2] = %d, want 6", pass, total[2])
+			}
+			if rank[3] != int32(p.ID) {
+				t.Errorf("pass %d proc %d rank[3] = %d, want %d", pass, p.ID, rank[3], p.ID)
+			}
+		}
+	})
+}
+
+func TestPrefixTreeChargesCommunication(t *testing.T) {
+	w := world(t, 8)
+	tree := NewPrefixTree(w, 64)
+	res := w.M.Run(func(p *machine.Proc) {
+		h := make([]int32, 64)
+		h[p.ID] = 1
+		tree.Reduce(p, h)
+	})
+	// Proc 0 combines at every level: it must have remote memory time.
+	if res.PerProc[0].Breakdown.RMem == 0 {
+		t.Error("combining processor has no RMem time")
+	}
+	// Everyone synchronized at least at the final barrier.
+	for i, ps := range res.PerProc {
+		if ps.Breakdown.Sync == 0 {
+			t.Errorf("proc %d has no sync time", i)
+		}
+	}
+}
+
+func TestPrefixTreeDeterministic(t *testing.T) {
+	run := func() float64 {
+		w := world(t, 8)
+		tree := NewPrefixTree(w, 32)
+		res := w.M.Run(func(p *machine.Proc) {
+			h := make([]int32, 32)
+			for b := range h {
+				h[b] = int32(p.ID*31 + b)
+			}
+			tree.Reduce(p, h)
+		})
+		return res.TimeNs
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("non-deterministic reduce: %v vs %v", a, b)
+	}
+}
+
+func TestReduceValidatesLength(t *testing.T) {
+	w := world(t, 2)
+	tree := NewPrefixTree(w, 8)
+	defer func() {
+		if recover() == nil {
+			t.Error("Reduce accepted wrong-length histogram")
+		}
+	}()
+	w.M.Run(func(p *machine.Proc) {
+		tree.Reduce(p, make([]int32, 4))
+	})
+}

@@ -1,0 +1,136 @@
+package coherence
+
+import (
+	"fmt"
+	"sort"
+)
+
+// LineState is the directory's full record for one line.
+type LineState struct {
+	State DirState
+	// Owner is the owning node when State is Exclusive.
+	Owner int
+	// Sharers is the set of sharing nodes when State is Shared.
+	Sharers map[int]bool
+}
+
+// Directory tracks per-line coherence state and drives the Protocol for
+// each access, returning the priced transaction. It is not safe for
+// concurrent use; the machine simulator uses per-access-class pricing in
+// parallel phases and the directory in verification tests and sequential
+// analyses.
+type Directory struct {
+	proto *Protocol
+	// homeOf maps a line address to its home node.
+	homeOf func(line uint64) int
+	lines  map[uint64]*LineState
+}
+
+// NewDirectory builds a directory over the given protocol. homeOf maps a
+// line address to the node that homes it.
+func NewDirectory(proto *Protocol, homeOf func(line uint64) int) *Directory {
+	return &Directory{proto: proto, homeOf: homeOf, lines: make(map[uint64]*LineState)}
+}
+
+// State returns the directory record for a line, creating an Unowned
+// record on first touch.
+func (d *Directory) State(line uint64) *LineState {
+	ls, ok := d.lines[line]
+	if !ok {
+		ls = &LineState{State: Unowned, Sharers: make(map[int]bool)}
+		d.lines[line] = ls
+	}
+	return ls
+}
+
+// sharerList returns the sharers in deterministic order.
+func (ls *LineState) sharerList() []int {
+	out := make([]int, 0, len(ls.Sharers))
+	for s := range ls.Sharers {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Read performs a read of line by a processor on node requester and
+// returns the priced transaction.
+func (d *Directory) Read(requester int, line uint64) Result {
+	ls := d.State(line)
+	home := d.homeOf(line)
+	res := d.proto.Read(requester, home, ls.Owner, ls.State, ls.sharerList())
+	switch res.NewState {
+	case Exclusive:
+		ls.State = Exclusive
+		ls.Owner = requester
+		clear(ls.Sharers)
+	case Shared:
+		if ls.State == Exclusive {
+			// 3-hop read: the previous owner retains a shared copy.
+			ls.Sharers[ls.Owner] = true
+		}
+		ls.State = Shared
+		ls.Sharers[requester] = true
+		ls.Owner = -1
+	}
+	return res
+}
+
+// Write performs a write (read-exclusive or upgrade) of line by a
+// processor on node requester.
+func (d *Directory) Write(requester int, line uint64) Result {
+	ls := d.State(line)
+	home := d.homeOf(line)
+	var res Result
+	if ls.State == Shared && ls.Sharers[requester] {
+		res = d.proto.Upgrade(requester, home, ls.sharerList())
+	} else {
+		res = d.proto.Write(requester, home, ls.Owner, ls.State, ls.sharerList())
+	}
+	ls.State = Exclusive
+	ls.Owner = requester
+	clear(ls.Sharers)
+	return res
+}
+
+// Writeback evicts a dirty line from the owner back to memory.
+func (d *Directory) Writeback(owner int, line uint64) (Result, error) {
+	ls := d.State(line)
+	if ls.State != Exclusive || ls.Owner != owner {
+		return Result{}, fmt.Errorf("coherence: writeback of line %#x by node %d but state is %v owner %d",
+			line, owner, ls.State, ls.Owner)
+	}
+	home := d.homeOf(line)
+	res := d.proto.Writeback(owner, home)
+	ls.State = Unowned
+	ls.Owner = -1
+	clear(ls.Sharers)
+	return res, nil
+}
+
+// CheckInvariants verifies the single-writer / valid-state invariants and
+// returns the first violation found, or nil.
+func (d *Directory) CheckInvariants() error {
+	for line, ls := range d.lines {
+		switch ls.State {
+		case Unowned:
+			if len(ls.Sharers) != 0 {
+				return fmt.Errorf("line %#x unowned but has sharers %v", line, ls.sharerList())
+			}
+		case Shared:
+			if len(ls.Sharers) == 0 {
+				return fmt.Errorf("line %#x shared but has no sharers", line)
+			}
+		case Exclusive:
+			if len(ls.Sharers) != 0 {
+				return fmt.Errorf("line %#x exclusive but has sharers %v", line, ls.sharerList())
+			}
+			if ls.Owner < 0 {
+				return fmt.Errorf("line %#x exclusive with invalid owner %d", line, ls.Owner)
+			}
+		default:
+			return fmt.Errorf("line %#x in invalid state %v", line, ls.State)
+		}
+	}
+	return nil
+}

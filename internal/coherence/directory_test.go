@@ -1,0 +1,125 @@
+package coherence
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testDir(t *testing.T) *Directory {
+	t.Helper()
+	// Blocked home mapping: 1 KB of line address space per node, 32 nodes.
+	homeOf := func(line uint64) int { return int(line/8) % 32 }
+	return NewDirectory(testProto(t), homeOf)
+}
+
+func TestDirectoryReadReadWrite(t *testing.T) {
+	d := testDir(t)
+	const line = 100
+
+	// First read: Unowned -> Exclusive at reader.
+	d.Read(3, line)
+	if st := d.State(line); st.State != Exclusive || st.Owner != 3 {
+		t.Fatalf("after first read: %+v, want Exclusive owner 3", st)
+	}
+
+	// Second reader: Exclusive -> Shared with both.
+	d.Read(7, line)
+	st := d.State(line)
+	if st.State != Shared {
+		t.Fatalf("after second read: state %v, want Shared", st.State)
+	}
+	if !st.Sharers[3] || !st.Sharers[7] {
+		t.Fatalf("sharers = %v, want {3,7}", st.sharerList())
+	}
+
+	// Write by a third node invalidates both sharers.
+	res := d.Write(12, line)
+	st = d.State(line)
+	if st.State != Exclusive || st.Owner != 12 {
+		t.Fatalf("after write: %+v, want Exclusive owner 12", st)
+	}
+	if len(st.Sharers) != 0 {
+		t.Fatalf("sharers not cleared after write: %v", st.sharerList())
+	}
+	if res.Messages != 2+2*2 {
+		t.Errorf("write messages = %d, want 6 (2 sharers invalidated)", res.Messages)
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDirectoryUpgradePath(t *testing.T) {
+	d := testDir(t)
+	const line = 40
+	d.Read(5, line)         // Exclusive at 5
+	d.Read(6, line)         // Shared {5,6}
+	res := d.Write(5, line) // 5 already shares: upgrade
+	// Upgrade moves no data: traffic should be control messages only,
+	// strictly less than a data-carrying transaction.
+	if res.TrafficBytes >= 144 {
+		t.Errorf("upgrade traffic = %d bytes, want control-only (< data message size)", res.TrafficBytes)
+	}
+	st := d.State(line)
+	if st.State != Exclusive || st.Owner != 5 {
+		t.Fatalf("after upgrade: %+v, want Exclusive owner 5", st)
+	}
+}
+
+func TestDirectoryWriteback(t *testing.T) {
+	d := testDir(t)
+	const line = 9
+	d.Write(2, line)
+	if _, err := d.Writeback(2, line); err != nil {
+		t.Fatalf("Writeback: %v", err)
+	}
+	if st := d.State(line); st.State != Unowned {
+		t.Fatalf("after writeback: %v, want Unowned", st.State)
+	}
+	// Writeback by a non-owner is a protocol error.
+	d.Write(2, line)
+	if _, err := d.Writeback(5, line); err == nil {
+		t.Error("writeback by non-owner accepted")
+	}
+}
+
+func TestDirectoryInvariantsUnderRandomTraffic(t *testing.T) {
+	d := testDir(t)
+	f := func(ops []uint16) bool {
+		for _, op := range ops {
+			node := int(op>>8) % 32
+			line := uint64(op % 64)
+			switch op % 3 {
+			case 0:
+				d.Read(node, line)
+			case 1:
+				d.Write(node, line)
+			case 2:
+				st := d.State(line)
+				if st.State == Exclusive {
+					if _, err := d.Writeback(st.Owner, line); err != nil {
+						return false
+					}
+				}
+			}
+		}
+		return d.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThreeHopReadKeepsOldOwnerAsSharer(t *testing.T) {
+	d := testDir(t)
+	const line = 77
+	d.Write(9, line) // dirty at 9
+	d.Read(4, line)  // 3-hop; 9 does a sharing writeback and keeps a copy
+	st := d.State(line)
+	if st.State != Shared {
+		t.Fatalf("state = %v, want Shared", st.State)
+	}
+	if !st.Sharers[9] || !st.Sharers[4] {
+		t.Errorf("sharers = %v, want {4,9}", st.sharerList())
+	}
+}

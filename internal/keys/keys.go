@@ -1,0 +1,312 @@
+// Package keys implements the eight key initialization methods of the
+// paper's §3.3: Gauss, Random, Zero, Bucket, Stagger, Half, Remote and
+// Local. Keys are 31-bit unsigned integers (MAX = 2^31), and every
+// method is deterministic given its configuration, so experiments are
+// exactly repeatable.
+package keys
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MaxKey is the exclusive upper bound of key values (2^31), as in the
+// paper.
+const MaxKey = uint64(1) << 31
+
+// Dist names a key distribution.
+type Dist int
+
+const (
+	// Gauss is the NAS/SPLASH-2 default: each key is the average of four
+	// consecutive outputs of the NAS 46-bit linear congruential generator.
+	Gauss Dist = iota
+	// Random is uniform over [0, 2^31) (the C library random() stand-in).
+	Random
+	// Zero is Random with every tenth key forced to zero.
+	Zero
+	// Bucket pre-sorts coarsely: each processor's partition is split into
+	// p runs, run j drawn from [j*MAX/p, (j+1)*MAX/p).
+	Bucket
+	// Stagger gives processor i keys from a single remote value band.
+	Stagger
+	// Half is Gauss restricted to even keys (halves the message count in
+	// radix sort while keeping data volume fixed).
+	Half
+	// Remote maximizes inter-processor key movement in radix sort: each
+	// radix-r digit of a key avoids (even digits) or hits (odd digits)
+	// the generating processor's own digit range.
+	Remote
+	// Local eliminates key movement: every digit of every key falls in
+	// the generating processor's own digit range.
+	Local
+)
+
+// AllDists lists the distributions in the paper's figure order.
+var AllDists = []Dist{Gauss, Random, Zero, Bucket, Stagger, Remote, Half, Local}
+
+// String returns the lowercase name used in figures and flags.
+func (d Dist) String() string {
+	switch d {
+	case Gauss:
+		return "gauss"
+	case Random:
+		return "random"
+	case Zero:
+		return "zero"
+	case Bucket:
+		return "bucket"
+	case Stagger:
+		return "stagger"
+	case Half:
+		return "half"
+	case Remote:
+		return "remote"
+	case Local:
+		return "local"
+	default:
+		return fmt.Sprintf("Dist(%d)", int(d))
+	}
+}
+
+// ParseDist resolves a distribution name (case-insensitive).
+func ParseDist(s string) (Dist, error) {
+	for _, d := range AllDists {
+		if strings.EqualFold(s, d.String()) {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("keys: unknown distribution %q", s)
+}
+
+// GenConfig parameterizes generation.
+type GenConfig struct {
+	// N is the total key count.
+	N int
+	// Procs is the number of processors the keys are initially
+	// partitioned across (partition i is [i*N/Procs, (i+1)*N/Procs)).
+	Procs int
+	// RadixBits is the radix size r, which shapes the Remote and Local
+	// distributions.
+	RadixBits int
+	// Seed perturbs the generators; 0 is a valid, fixed default.
+	Seed uint64
+}
+
+func (c GenConfig) validate() error {
+	if c.N <= 0 {
+		return fmt.Errorf("keys: N must be positive, got %d", c.N)
+	}
+	if c.Procs <= 0 {
+		return fmt.Errorf("keys: Procs must be positive, got %d", c.Procs)
+	}
+	if c.RadixBits < 1 || c.RadixBits > 16 {
+		return fmt.Errorf("keys: RadixBits must be in [1,16], got %d", c.RadixBits)
+	}
+	return nil
+}
+
+// nasLCG is the NAS parallel benchmarks' 46-bit linear congruential
+// generator: x_{k+1} = a*x_k mod 2^46, a = 5^13, x_0 = 314159265 (the
+// paper prints the multiplier as "513", i.e. 5^13).
+type nasLCG struct {
+	x uint64
+}
+
+const (
+	nasA    = 1220703125 // 5^13
+	nasMod  = uint64(1) << 46
+	nasMask = nasMod - 1
+)
+
+func newNASLCG(seed uint64) *nasLCG {
+	x := (uint64(314159265) + seed) & nasMask
+	if x == 0 {
+		x = 314159265
+	}
+	return &nasLCG{x: x}
+}
+
+// next returns the next raw 46-bit value.
+func (g *nasLCG) next() uint64 {
+	g.x = (g.x * nasA) & nasMask
+	return g.x
+}
+
+// splitmix64 is the uniform generator standing in for the C library
+// random(): a standard 64-bit mixer with excellent equidistribution.
+type splitmix64 struct {
+	x uint64
+}
+
+func (s *splitmix64) next() uint64 {
+	s.x += 0x9e3779b97f4a7c15
+	z := s.x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// uniform returns a value in [0, bound) without modulo bias beyond
+// 2^-32 (bound is always << 2^32 here).
+func (s *splitmix64) uniform(bound uint64) uint64 {
+	if bound == 0 {
+		return 0
+	}
+	return (s.next() >> 16) % bound
+}
+
+// Generate returns N keys initialized with distribution d.
+func Generate(d Dist, cfg GenConfig) ([]uint32, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	out := make([]uint32, cfg.N)
+	switch d {
+	case Gauss:
+		fillGauss(out, cfg, false)
+	case Half:
+		fillGauss(out, cfg, true)
+	case Random:
+		fillRandom(out, cfg, false)
+	case Zero:
+		fillRandom(out, cfg, true)
+	case Bucket:
+		fillBucket(out, cfg)
+	case Stagger:
+		fillStagger(out, cfg)
+	case Remote:
+		fillDigitPattern(out, cfg, true)
+	case Local:
+		fillDigitPattern(out, cfg, false)
+	default:
+		return nil, fmt.Errorf("keys: unknown distribution %d", int(d))
+	}
+	return out, nil
+}
+
+// MustGenerate is Generate for static experiment configurations.
+func MustGenerate(d Dist, cfg GenConfig) []uint32 {
+	out, err := Generate(d, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func fillGauss(out []uint32, cfg GenConfig, evenOnly bool) {
+	g := newNASLCG(cfg.Seed)
+	for i := range out {
+		// Average of four consecutive uniform deviates, scaled to
+		// [0, MaxKey): a bell-shaped density centered at MaxKey/2.
+		sum := g.next()>>15 + g.next()>>15 + g.next()>>15 + g.next()>>15
+		// Each term is 31 bits; the average of four is 31 bits.
+		k := uint32(sum / 4)
+		if evenOnly {
+			k &^= 1
+		}
+		out[i] = k
+	}
+}
+
+func fillRandom(out []uint32, cfg GenConfig, zeroTenth bool) {
+	g := &splitmix64{x: cfg.Seed ^ 0xa5a5a5a5deadbeef}
+	for i := range out {
+		out[i] = uint32(g.uniform(MaxKey))
+		if zeroTenth && i%10 == 9 {
+			// "every tenth key is set to zero"
+			out[i] = 0
+		}
+	}
+}
+
+func fillBucket(out []uint32, cfg GenConfig) {
+	g := &splitmix64{x: cfg.Seed ^ 0xb0b0b0b0cafef00d}
+	p := cfg.Procs
+	width := MaxKey / uint64(p)
+	for proc := 0; proc < p; proc++ {
+		lo, hi := bounds(len(out), p, proc)
+		part := out[lo:hi]
+		// Split this processor's partition into p runs; run j draws from
+		// bucket j's value range.
+		for j := 0; j < p; j++ {
+			rlo, rhi := bounds(len(part), p, j)
+			base := uint64(j) * width
+			for i := rlo; i < rhi; i++ {
+				part[i] = uint32(base + g.uniform(width))
+			}
+		}
+	}
+}
+
+func fillStagger(out []uint32, cfg GenConfig) {
+	g := &splitmix64{x: cfg.Seed ^ 0x57a99e125107}
+	p := cfg.Procs
+	width := MaxKey / uint64(p)
+	for proc := 0; proc < p; proc++ {
+		// Processor i draws all its keys from one band: band 2i+1 for the
+		// first half of processors, band 2i-p for the second half.
+		var band int
+		if proc < p/2 {
+			band = 2*proc + 1
+		} else {
+			band = 2*proc - p
+		}
+		if band >= p { // degenerate tiny-p cases (p == 1)
+			band = p - 1
+		}
+		base := uint64(band) * width
+		lo, hi := bounds(len(out), p, proc)
+		for i := lo; i < hi; i++ {
+			out[i] = uint32(base + g.uniform(width))
+		}
+	}
+}
+
+// bounds returns the [lo,hi) range of chunk i when n items are split
+// into k chunks.
+func bounds(n, k, i int) (lo, hi int) {
+	lo = i * n / k
+	hi = (i + 1) * n / k
+	return lo, hi
+}
+
+func fillDigitPattern(out []uint32, cfg GenConfig, remote bool) {
+	g := &splitmix64{x: cfg.Seed ^ 0x10ca1f1e1d5}
+	r := cfg.RadixBits
+	p := uint64(cfg.Procs)
+	digits := (31 + r - 1) / r // digit positions covering 31 bits
+	bucketsPerProc := (uint64(1) << r) / p
+	if bucketsPerProc == 0 {
+		bucketsPerProc = 1
+	}
+	for proc := 0; proc < cfg.Procs; proc++ {
+		lo, hi := bounds(len(out), cfg.Procs, proc)
+		ownLo := uint64(proc) * bucketsPerProc
+		for i := lo; i < hi; i++ {
+			var key uint64
+			var even, odd uint64
+			if remote {
+				// Even digit positions (1st, 3rd, ...) avoid the own
+				// range; odd positions hit it.
+				even = g.uniform((uint64(1) << r) - bucketsPerProc)
+				if even >= ownLo {
+					even += bucketsPerProc
+				}
+				odd = ownLo + g.uniform(bucketsPerProc)
+			} else {
+				// Local: every digit in the own range.
+				even = ownLo + g.uniform(bucketsPerProc)
+				odd = even
+			}
+			for dpos := 0; dpos < digits; dpos++ {
+				d := even
+				if dpos%2 == 1 {
+					d = odd
+				}
+				key |= d << (dpos * r)
+			}
+			out[i] = uint32(key & (MaxKey - 1))
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package keys
+
+import (
+	"testing"
+)
+
+func TestBucketCounts(t *testing.T) {
+	keys := []uint32{0, 1, 255, 256, 257}
+	counts := BucketCounts(keys, 0, 8)
+	if counts[0] != 2 || counts[1] != 2 || counts[255] != 1 {
+		t.Errorf("pass 0 counts wrong: %v %v %v", counts[0], counts[1], counts[255])
+	}
+	counts = BucketCounts(keys, 1, 8)
+	if counts[0] != 3 || counts[1] != 2 {
+		t.Errorf("pass 1 counts wrong: %v %v", counts[0], counts[1])
+	}
+}
+
+func TestMovedFractionExtremes(t *testing.T) {
+	const n, p, r = 8000, 8, 8
+	local := MustGenerate(Local, GenConfig{N: n, Procs: p, RadixBits: r})
+	remote := MustGenerate(Remote, GenConfig{N: n, Procs: p, RadixBits: r})
+	gauss := MustGenerate(Gauss, GenConfig{N: n, Procs: p, RadixBits: r})
+
+	if f := MovedFraction(local, p, r); f != 0 {
+		t.Errorf("local moved fraction = %v, want 0", f)
+	}
+	if f := MovedFraction(remote, p, r); f != 1 {
+		t.Errorf("remote moved fraction = %v, want 1", f)
+	}
+	// A realistic distribution moves about (p-1)/p of its keys.
+	want := float64(p-1) / float64(p)
+	if f := MovedFraction(gauss, p, r); f < want-0.1 || f > want+0.1 {
+		t.Errorf("gauss moved fraction = %v, want ~%v", f, want)
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	if got := Imbalance([]int64{10, 10, 10, 10}); got != 1 {
+		t.Errorf("balanced imbalance = %v", got)
+	}
+	if got := Imbalance([]int64{40, 0, 0, 0}); got != 4 {
+		t.Errorf("all-in-one imbalance = %v", got)
+	}
+	if got := Imbalance(nil); got != 0 {
+		t.Errorf("empty imbalance = %v", got)
+	}
+	if got := Imbalance([]int64{0, 0}); got != 0 {
+		t.Errorf("zero imbalance = %v", got)
+	}
+}
+
+func TestEntropyShapes(t *testing.T) {
+	const n, p, r = 32768, 8, 8
+	random := MustGenerate(Random, GenConfig{N: n, Procs: p, RadixBits: r})
+	zero := MustGenerate(Zero, GenConfig{N: n, Procs: p, RadixBits: r})
+	hRandom := Entropy(BucketCounts(random, 0, r))
+	hZero := Entropy(BucketCounts(zero, 0, r))
+	if hRandom < 0.99 {
+		t.Errorf("random first-digit entropy = %v, want ~1", hRandom)
+	}
+	if hZero >= hRandom {
+		t.Errorf("zero-spiked entropy (%v) should be below uniform (%v)", hZero, hRandom)
+	}
+	if got := Entropy(nil); got != 0 {
+		t.Errorf("empty entropy = %v", got)
+	}
+	if got := Entropy([]int64{5}); got != 0 {
+		t.Errorf("single-bucket entropy = %v", got)
+	}
+}
+
+func TestSortednessRuns(t *testing.T) {
+	if got := SortednessRuns([]uint32{1, 2, 3, 4}); got != 1 {
+		t.Errorf("sorted runs = %d", got)
+	}
+	if got := SortednessRuns([]uint32{4, 3, 2, 1}); got != 4 {
+		t.Errorf("reverse runs = %d", got)
+	}
+	if got := SortednessRuns(nil); got != 0 {
+		t.Errorf("empty runs = %d", got)
+	}
+	if got := SortednessRuns([]uint32{2, 2, 2}); got != 1 {
+		t.Errorf("equal keys runs = %d", got)
+	}
+}
+
+func TestHalfHalvesOccupiedBuckets(t *testing.T) {
+	// The half distribution's purpose: odd first-digit buckets are empty,
+	// halving radix sort's message count at fixed volume.
+	const n, p, r = 32768, 8, 8
+	half := MustGenerate(Half, GenConfig{N: n, Procs: p, RadixBits: r})
+	counts := BucketCounts(half, 0, r)
+	for d := 1; d < len(counts); d += 2 {
+		if counts[d] != 0 {
+			t.Fatalf("odd bucket %d non-empty: %d", d, counts[d])
+		}
+	}
+	occupied := 0
+	for _, c := range counts {
+		if c > 0 {
+			occupied++
+		}
+	}
+	if occupied == 0 || occupied > len(counts)/2 {
+		t.Errorf("occupied buckets = %d, want at most half of %d", occupied, len(counts))
+	}
+}
+
+func TestBucketDistributionPreSortedPerProcessor(t *testing.T) {
+	// The bucket distribution's partitions hold p ascending-range runs:
+	// low sortedness-run count relative to random data.
+	const n, p, r = 16384, 8, 8
+	bucket := MustGenerate(Bucket, GenConfig{N: n, Procs: p, RadixBits: r})
+	random := MustGenerate(Random, GenConfig{N: n, Procs: p, RadixBits: r})
+	lo, hi := 0, n/p
+	// Top-bits sortedness: compare run counts of the digit sequences.
+	digitsOf := func(ks []uint32) []uint32 {
+		out := make([]uint32, len(ks))
+		for i, k := range ks {
+			out[i] = k >> 23 // top byte of the 31-bit key
+		}
+		return out
+	}
+	rb := SortednessRuns(digitsOf(bucket[lo:hi]))
+	rr := SortednessRuns(digitsOf(random[lo:hi]))
+	if rb >= rr {
+		t.Errorf("bucket partition runs (%d) should be below random's (%d)", rb, rr)
+	}
+}

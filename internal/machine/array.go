@@ -1,0 +1,142 @@
+package machine
+
+import (
+	"fmt"
+	"reflect"
+
+	"repro/internal/memsys"
+)
+
+// Array couples a Go slice holding real data with a region of the
+// simulated address space, so algorithms can operate on data normally
+// while charging simulated memory costs for the corresponding addresses.
+type Array[T any] struct {
+	// Data is the backing slice; index i corresponds to address Addr(i).
+	Data []T
+
+	region   *memsys.Region
+	elemSize int
+}
+
+// elemSizeOf returns the in-memory size of T.
+func elemSizeOf[T any]() int {
+	var zero T
+	return int(reflect.TypeOf(zero).Size())
+}
+
+// NewArrayBlocked allocates an n-element array whose address range is
+// partitioned across the machine's processors (partition i homed on
+// processor i's node), matching how the sorting programs distribute
+// their key arrays.
+func NewArrayBlocked[T any](m *Machine, name string, n int) *Array[T] {
+	es := elemSizeOf[T]()
+	r := m.as.AllocBlocked(name, n*es, m.Procs())
+	return &Array[T]{Data: make([]T, n), region: r, elemSize: es}
+}
+
+// NewArrayRoundRobin allocates an n-element array with pages spread
+// round-robin across nodes (how a shared global structure with no
+// natural owner is placed).
+func NewArrayRoundRobin[T any](m *Machine, name string, n int) *Array[T] {
+	es := elemSizeOf[T]()
+	r := m.as.AllocRoundRobin(name, n*es)
+	return &Array[T]{Data: make([]T, n), region: r, elemSize: es}
+}
+
+// NewArrayOnProc allocates an n-element array homed entirely on the node
+// of processor proc (private data, symmetric-heap segments, message
+// buffers).
+func NewArrayOnProc[T any](m *Machine, name string, n, proc int) *Array[T] {
+	es := elemSizeOf[T]()
+	r := m.as.AllocOnNode(name, n*es, m.top.NodeOf(proc))
+	return &Array[T]{Data: make([]T, n), region: r, elemSize: es}
+}
+
+// NewArrayReserve allocates an address range for capElems elements homed
+// on proc's node, but with an initially empty Data slice; Grow extends
+// the usable prefix on demand. This supports buffers whose eventual fill
+// is data-dependent (e.g. sample sort's receive arrays) without
+// committing host memory for the worst case up front. Addresses are
+// assigned at allocation time, so simulations stay deterministic.
+func NewArrayReserve[T any](m *Machine, name string, capElems, proc int) *Array[T] {
+	es := elemSizeOf[T]()
+	r := m.as.AllocOnNode(name, capElems*es, m.top.NodeOf(proc))
+	return &Array[T]{Data: nil, region: r, elemSize: es}
+}
+
+// Grow extends Data to hold at least n elements (bounded by the reserved
+// capacity) and returns the array. Growing is a host-side operation with
+// no simulated cost.
+func (a *Array[T]) Grow(n int) *Array[T] {
+	if n <= len(a.Data) {
+		return a
+	}
+	if n*a.elemSize > a.region.Size() {
+		panic(fmt.Sprintf("machine: Grow(%d) exceeds region %q capacity %d elems",
+			n, a.region.Name(), a.region.Size()/a.elemSize))
+	}
+	grown := make([]T, n)
+	copy(grown, a.Data)
+	a.Data = grown
+	return a
+}
+
+// Len returns the element count.
+func (a *Array[T]) Len() int { return len(a.Data) }
+
+// Addr returns the simulated address of element i.
+func (a *Array[T]) Addr(i int) Addr {
+	return a.region.Addr(i * a.elemSize)
+}
+
+// ElemSize returns the element size in bytes.
+func (a *Array[T]) ElemSize() int { return a.elemSize }
+
+// Region returns the backing region.
+func (a *Array[T]) Region() *memsys.Region { return a.region }
+
+// Bytes returns the byte length of n elements.
+func (a *Array[T]) Bytes(n int) int { return n * a.elemSize }
+
+// Load reads element i with the given sharing class, charging the
+// simulated access and returning the value.
+func (a *Array[T]) Load(p *Proc, i int, sh Sharing) T {
+	p.Load(a.Addr(i), sh)
+	return a.Data[i]
+}
+
+// Store writes element i with the given sharing class.
+func (a *Array[T]) Store(p *Proc, i int, v T, sh Sharing) {
+	p.Store(a.Addr(i), sh)
+	a.Data[i] = v
+}
+
+// LoadSeq reads element i as part of a sequential sweep (misses overlap
+// through the MSHRs).
+func (a *Array[T]) LoadSeq(p *Proc, i int, sh Sharing) T {
+	p.LoadSeq(a.Addr(i), sh)
+	return a.Data[i]
+}
+
+// StoreSeq writes element i as part of a sequential sweep.
+func (a *Array[T]) StoreSeq(p *Proc, i int, v T, sh Sharing) {
+	p.StoreSeq(a.Addr(i), sh)
+	a.Data[i] = v
+}
+
+// LoadRange charges a sequential read of elements [lo, hi). The caller
+// reads a.Data[lo:hi] directly for the values.
+func (a *Array[T]) LoadRange(p *Proc, lo, hi int, sh Sharing) {
+	if hi <= lo {
+		return
+	}
+	p.LoadBlock(a.Addr(lo), (hi-lo)*a.elemSize, sh)
+}
+
+// StoreRange charges a sequential write of elements [lo, hi).
+func (a *Array[T]) StoreRange(p *Proc, lo, hi int, sh Sharing) {
+	if hi <= lo {
+		return
+	}
+	p.StoreBlock(a.Addr(lo), (hi-lo)*a.elemSize, sh)
+}

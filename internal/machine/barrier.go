@@ -1,0 +1,73 @@
+package machine
+
+import "sync"
+
+// Barrier is a reusable virtual-time barrier: all members block until the
+// last arrives, then every member's clock advances to the maximum arrival
+// time plus the barrier cost, with the wait charged to SYNC.
+//
+// The release time is a deterministic function of the members' arrival
+// clocks, so barriers keep the whole simulation deterministic no matter
+// how the host schedules the goroutines.
+type Barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	members int
+	cost    float64
+
+	waiting  int
+	maxClock float64
+	gen      uint64
+	// release is the release time of the generation that most recently
+	// completed. It cannot be overwritten before every member of that
+	// generation has read it, because overwriting requires all members to
+	// arrive at the next episode, and a member still reading has not.
+	release float64
+}
+
+// NewBarrier builds a barrier for the given member count and per-episode
+// cost in nanoseconds.
+func NewBarrier(members int, cost float64) *Barrier {
+	b := &Barrier{members: members, cost: cost}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Members returns the number of participants.
+func (b *Barrier) Members() int { return b.members }
+
+// Reset clears arrival state between independent runs. It must not be
+// called while any member is waiting.
+func (b *Barrier) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.waiting = 0
+	b.maxClock = 0
+	b.release = 0
+}
+
+// Wait blocks p until all members arrive and then advances p's clock to
+// the common release time.
+func (b *Barrier) Wait(p *Proc) {
+	b.mu.Lock()
+	myGen := b.gen
+	if p.clock > b.maxClock {
+		b.maxClock = p.clock
+	}
+	b.waiting++
+	if b.waiting == b.members {
+		b.release = b.maxClock + b.cost
+		b.waiting = 0
+		b.maxClock = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		for myGen == b.gen {
+			b.cond.Wait()
+		}
+	}
+	rel := b.release
+	b.mu.Unlock()
+
+	p.WaitUntil(rel)
+}

@@ -1,0 +1,183 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/coherence"
+	"repro/internal/topology"
+)
+
+// Config gathers every parameter of the simulated machine.
+type Config struct {
+	// Topology describes processors, nodes, routers and NUMA latencies.
+	Topology topology.Config
+	// Cache is the per-processor (second-level) cache geometry.
+	Cache cache.Config
+	// TLB is the per-processor TLB geometry. Page size here is the page
+	// size used for data placement as well.
+	TLB cache.TLBConfig
+
+	// OpNs is the busy cost of one abstract ALU operation in nanoseconds.
+	// 195 MHz R10000 ~ 5.13 ns per cycle.
+	OpNs float64
+	// TLBMissNs is the stall for one TLB refill.
+	TLBMissNs float64
+	// MissOverlap is the number of outstanding misses a sequential stream
+	// can overlap (the R10000 sustains 4); scattered dependent accesses
+	// serialize at full latency. Applied by the stream/block access
+	// variants.
+	MissOverlap float64
+
+	// BarrierBaseNs and BarrierPerLogNs set the cost of a full barrier:
+	// base + perLog * log2(procs).
+	BarrierBaseNs   float64
+	BarrierPerLogNs float64
+
+	// ContentionScatteredPerProc and ContentionBulkPerProc control the
+	// deterministic contention factor charged during communication phases:
+	// factor = 1 + perProc * (communicatingProcs - 1), scaled for
+	// scattered traffic by how saturating the phase is (see
+	// scatteredContention). Scattered (fine-grained, per-line) traffic
+	// contends much harder than bulk transfers because each line moves a
+	// full protocol transaction (request, invalidations, acknowledgements,
+	// later writeback) through the home memory controller, which is the
+	// paper's explanation for the poor performance of the original CC-SAS
+	// radix sort.
+	ContentionScatteredPerProc float64
+	ContentionBulkPerProc      float64
+	// ContentionLoadFloor is the minimum load fraction used by
+	// scatteredContention: even short scattered bursts collide at the
+	// home controllers, so the penalty never ramps entirely to zero.
+	ContentionLoadFloor float64
+
+	// FlatMemory, when true, prices every miss at the local latency and
+	// disables coherence/NUMA effects. Used by the flat-memory ablation.
+	FlatMemory bool
+	// NoContention, when true, forces all contention factors to 1.
+	NoContention bool
+
+	// Coherence sets the protocol message cost constants. Zero value is
+	// replaced by coherence.DefaultParams(Cache.LineSize) in Validate.
+	Coherence coherence.Params
+}
+
+// Validate fills defaults and checks the configuration.
+func (c *Config) Validate() error {
+	if _, err := topology.New(c.Topology); err != nil {
+		return err
+	}
+	if err := c.Cache.Validate(); err != nil {
+		return err
+	}
+	if err := c.TLB.Validate(); err != nil {
+		return err
+	}
+	if c.OpNs <= 0 {
+		return fmt.Errorf("machine: OpNs must be positive, got %v", c.OpNs)
+	}
+	if c.Coherence == (coherence.Params{}) {
+		c.Coherence = coherence.DefaultParams(c.Cache.LineSize)
+	}
+	if c.MissOverlap <= 0 {
+		c.MissOverlap = 1
+	}
+	return nil
+}
+
+// contentionFactor returns the multiplier for remote traffic when q
+// processors communicate concurrently.
+func (c *Config) contentionFactor(q int, scattered bool) float64 {
+	if c.NoContention || q <= 1 {
+		return 1
+	}
+	per := c.ContentionBulkPerProc
+	if scattered {
+		per = c.ContentionScatteredPerProc
+	}
+	return 1 + per*float64(q-1)
+}
+
+// scatteredContention returns the multiplier for a scattered all-to-all
+// phase in which q processors each move bytesPerProc of fine-grained
+// traffic. Directory controllers saturate only under sustained load: a
+// burst smaller than the cache drains without queueing, so the per-
+// processor penalty ramps linearly with the phase's volume up to one
+// cache-full of traffic per processor.
+func (c *Config) scatteredContention(q, bytesPerProc int) float64 {
+	if c.NoContention || q <= 1 {
+		return 1
+	}
+	load := float64(bytesPerProc) / float64(c.Cache.Size)
+	if load < c.ContentionLoadFloor {
+		load = c.ContentionLoadFloor
+	}
+	if load > 1 {
+		load = 1
+	}
+	return 1 + c.ContentionScatteredPerProc*float64(q-1)*load
+}
+
+// originTopology returns the Origin2000 interconnect parameters for a
+// given processor count (which must keep the router count a power of
+// two: 2, 4, 8, 16, 32, 64, ... processors).
+func originTopology(procs int) topology.Config {
+	procsPerNode := 2
+	if procs == 1 {
+		// A uniprocessor run (the sequential baseline) gets a single
+		// one-processor node.
+		procsPerNode = 1
+	}
+	return topology.Config{
+		Processors:        procs,
+		ProcsPerNode:      procsPerNode,
+		NodesPerRouter:    2,
+		LocalLatency:      313,
+		HopLatency:        100,
+		RemoteBaseLatency: 600,
+		LinkBandwidth:     0.8, // 0.8 bytes/ns per direction = 1.6 GB/s total
+	}
+}
+
+// Origin2000 returns the full-size machine parameters of the paper's
+// platform: 4 MB 2-way 128-byte-line L2 per processor, 64-entry TLB with
+// 16 KB pages, 195 MHz R10000.
+func Origin2000(procs int) Config {
+	return Config{
+		Topology:                   originTopology(procs),
+		Cache:                      cache.Config{Size: 4 << 20, LineSize: 128, Ways: 2},
+		TLB:                        cache.TLBConfig{Entries: 64, PageSize: 16 << 10},
+		OpNs:                       5.13,
+		TLBMissNs:                  300,
+		MissOverlap:                4,
+		BarrierBaseNs:              1000,
+		BarrierPerLogNs:            500,
+		ContentionScatteredPerProc: 0.045,
+		ContentionBulkPerProc:      0.005,
+		ContentionLoadFloor:        0.1,
+	}
+}
+
+// ScaleFactor is the factor by which Origin2000Scaled shrinks cache
+// reach, TLB reach, data sizes, and fixed software costs relative to the
+// paper's machine. 16 keeps the cache-line segment locality of the
+// permutation phase close to the full-size machine's (the line size
+// cannot scale), while making the largest experiments ~16x faster to
+// simulate.
+const ScaleFactor = 16
+
+// Origin2000Scaled returns the experiment default: the same machine with
+// cache and TLB reach scaled down by ScaleFactor (256 KB cache, 1 KB
+// pages), so that data sets scaled down by the same factor reproduce the
+// paper's capacity crossovers while keeping simulations fast. See
+// DESIGN.md §1.
+func Origin2000Scaled(procs int) Config {
+	c := Origin2000(procs)
+	c.Cache = cache.Config{Size: (4 << 20) / ScaleFactor, LineSize: 128, Ways: 2}
+	c.TLB = cache.TLBConfig{Entries: 64, PageSize: (16 << 10) / ScaleFactor}
+	// Fixed per-event software costs scale with the data so the ratio of
+	// fixed to data-proportional work matches the full-size machine.
+	c.BarrierBaseNs /= ScaleFactor
+	c.BarrierPerLogNs /= ScaleFactor
+	return c
+}

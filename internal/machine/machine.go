@@ -1,0 +1,182 @@
+// Package machine is the execution-driven simulator of a cache-coherent
+// DSM multiprocessor in the style of the SGI Origin2000.
+//
+// Simulated processors are goroutines running real algorithm code over
+// real data; every modeled memory access flows through a per-processor
+// cache and TLB model and is priced by the directory coherence protocol
+// engine and the machine topology. Each processor accumulates virtual
+// time split into the paper's BUSY / LMEM / RMEM / SYNC buckets.
+// Synchronization primitives reconcile virtual clocks deterministically,
+// so a run's simulated times are a pure function of its inputs.
+package machine
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/coherence"
+	"repro/internal/memsys"
+	"repro/internal/topology"
+)
+
+// Machine is one simulated multiprocessor.
+type Machine struct {
+	cfg   Config
+	top   *topology.Topology
+	as    *memsys.AddressSpace
+	proto *coherence.Protocol
+	procs []*Proc
+
+	barrier *Barrier
+}
+
+// New builds a machine from cfg. The configuration is validated and its
+// zero-valued defaults filled in.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	top, err := topology.New(cfg.Topology)
+	if err != nil {
+		return nil, err
+	}
+	as, err := memsys.New(cfg.TLB.PageSize, top.Nodes(), top.NodeOf)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:   cfg,
+		top:   top,
+		as:    as,
+		proto: coherence.NewProtocol(top, cfg.Coherence),
+	}
+	n := cfg.Topology.Processors
+	m.procs = make([]*Proc, n)
+	for i := 0; i < n; i++ {
+		m.procs[i] = newProc(m, i)
+	}
+	m.barrier = NewBarrier(n, m.barrierCost())
+	return m, nil
+}
+
+// MustNew is New but panics on error; for static experiment presets.
+func MustNew(cfg Config) *Machine {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Config returns the machine's (validated) configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Topology returns the machine's interconnect.
+func (m *Machine) Topology() *topology.Topology { return m.top }
+
+// AddressSpace returns the simulated address space.
+func (m *Machine) AddressSpace() *memsys.AddressSpace { return m.as }
+
+// Procs returns the number of processors.
+func (m *Machine) Procs() int { return len(m.procs) }
+
+// Proc returns processor i (useful in tests; application code receives
+// its Proc from Run).
+func (m *Machine) Proc(i int) *Proc { return m.procs[i] }
+
+func (m *Machine) barrierCost() float64 {
+	p := len(m.procs)
+	logs := 0
+	for 1<<logs < p {
+		logs++
+	}
+	return m.cfg.BarrierBaseNs + m.cfg.BarrierPerLogNs*float64(logs)
+}
+
+// Result reports one parallel run.
+type Result struct {
+	// TimeNs is the simulated wall time: the max over processors of
+	// their final virtual clocks.
+	TimeNs float64
+	// PerProc is each processor's stats.
+	PerProc []ProcStats
+}
+
+// MaxBreakdown returns the stats of the processor that finished last.
+func (r *Result) MaxBreakdown() Breakdown {
+	var best Breakdown
+	for _, ps := range r.PerProc {
+		if ps.Breakdown.Total() > best.Total() {
+			best = ps.Breakdown
+		}
+	}
+	return best
+}
+
+// TotalBreakdown sums all processors' breakdowns.
+func (r *Result) TotalBreakdown() Breakdown {
+	var sum Breakdown
+	for _, ps := range r.PerProc {
+		sum.Add(ps.Breakdown)
+	}
+	return sum
+}
+
+// Run executes body once per processor, each on its own goroutine, and
+// returns the collected result. Virtual clocks and stats are reset
+// first, so a machine can host several runs; caches and TLBs are NOT
+// reset between runs unless ResetMemory is called (warm caches across
+// phases of one experiment are intentional).
+//
+// A panic in any processor body is re-raised on the caller's goroutine
+// after all other processors finish.
+func (m *Machine) Run(body func(p *Proc)) *Result {
+	for _, p := range m.procs {
+		p.resetClock()
+	}
+	m.barrier.Reset()
+	var wg sync.WaitGroup
+	panics := make([]any, len(m.procs))
+	for _, p := range m.procs {
+		wg.Add(1)
+		go func(p *Proc) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[p.ID] = r
+				}
+			}()
+			body(p)
+		}(p)
+	}
+	wg.Wait()
+	for i, pv := range panics {
+		if pv != nil {
+			panic(fmt.Sprintf("machine: processor %d panicked: %v", i, pv))
+		}
+	}
+	res := &Result{PerProc: make([]ProcStats, len(m.procs))}
+	for i, p := range m.procs {
+		res.PerProc[i] = p.snapshot()
+		if p.clock > res.TimeNs {
+			res.TimeNs = p.clock
+		}
+	}
+	return res
+}
+
+// ResetMemory flushes every processor's cache and TLB (e.g. between
+// unrelated experiments sharing one machine).
+func (m *Machine) ResetMemory() {
+	for _, p := range m.procs {
+		p.cache.Flush()
+		p.tlb.Flush()
+	}
+}
+
+// Barrier blocks p until every processor has arrived, then releases all
+// of them at the same virtual time (max arrival + barrier cost), charging
+// each processor's wait to SYNC.
+func (m *Machine) Barrier(p *Proc) {
+	m.barrier.Wait(p)
+}

@@ -1,0 +1,416 @@
+package machine
+
+import (
+	"repro/internal/cache"
+	"repro/internal/coherence"
+)
+
+// Addr re-exports the simulated address type for convenience.
+type Addr = cache.Addr
+
+// Sharing declares the coherence situation of the line an access
+// touches. The programming-model layer knows the sharing pattern of each
+// phase (who wrote the data last, who caches it), so it declares the
+// class and the machine prices the resulting protocol transaction. See
+// DESIGN.md §4 for why this replaces a live shared directory.
+type Sharing int
+
+const (
+	// Private: no other cache holds the line; a miss fills from the home
+	// memory (local or remote two-hop).
+	Private Sharing = iota
+	// RemoteProduced: the line was last written by the processor that
+	// owns/homes it and is dirty in that cache; a miss is a three-hop
+	// intervention.
+	RemoteProduced
+	// SharedRead: the line is read-shared; a read miss fills two-hop from
+	// home, and a write miss must invalidate the other sharer.
+	SharedRead
+	// ConflictWrite: a write to a line cached (dirty or clean) by the
+	// partition's owner: ownership transfer plus invalidation.
+	ConflictWrite
+	// DirtyElsewhere: the line is dirty in some remote cache whose
+	// location is data-dependent (e.g. reading one's own partition after
+	// an all-to-all scatter). Priced as a three-hop transaction whose
+	// remote legs use the machine's average remote latency.
+	DirtyElsewhere
+)
+
+// Proc is one simulated processor. All methods must be called only from
+// the goroutine running this processor's body.
+type Proc struct {
+	// ID is the processor number, in [0, Machine.Procs()).
+	ID int
+	// Node is the NUMA node housing this processor.
+	Node int
+
+	m     *Machine
+	cache *cache.Cache
+	tlb   *cache.TLB
+
+	clock float64 // virtual time, ns
+	stats ProcStats
+
+	// contention multiplies remote charges during a communication phase.
+	contention float64
+
+	// phase is the current phase label; phaseAcc points at its breakdown
+	// accumulator so per-charge bookkeeping stays a pointer write.
+	phase    string
+	phaseAcc *Breakdown
+	phases   map[string]*Breakdown
+}
+
+func newProc(m *Machine, id int) *Proc {
+	return &Proc{
+		ID:         id,
+		Node:       m.top.NodeOf(id),
+		m:          m,
+		cache:      cache.New(m.cfg.Cache),
+		tlb:        cache.NewTLB(m.cfg.TLB),
+		contention: 1,
+	}
+}
+
+func (p *Proc) resetClock() {
+	p.clock = 0
+	p.stats = ProcStats{}
+	p.contention = 1
+	p.phase = ""
+	p.phaseAcc = nil
+	p.phases = nil
+}
+
+// SetPhase labels subsequent charges with a phase name; per-phase
+// breakdowns are reported in ProcStats.Phases. An empty name stops
+// phase attribution.
+func (p *Proc) SetPhase(name string) {
+	p.phase = name
+	if name == "" {
+		p.phaseAcc = nil
+		return
+	}
+	if p.phases == nil {
+		p.phases = make(map[string]*Breakdown)
+	}
+	acc, ok := p.phases[name]
+	if !ok {
+		acc = &Breakdown{}
+		p.phases[name] = acc
+	}
+	p.phaseAcc = acc
+}
+
+// Phase returns the current phase label.
+func (p *Proc) Phase() string { return p.phase }
+
+func (p *Proc) snapshot() ProcStats {
+	s := p.stats
+	cs := p.cache.Stats()
+	s.CacheAccesses = cs.Accesses
+	s.CacheMisses = cs.Misses
+	s.Writebacks = cs.Writebacks
+	s.TLBMisses = p.tlb.Stats().Misses
+	if p.phases != nil {
+		s.Phases = make(map[string]Breakdown, len(p.phases))
+		for name, acc := range p.phases {
+			s.Phases[name] = *acc
+		}
+	}
+	return s
+}
+
+// Machine returns the machine this processor belongs to.
+func (p *Proc) Machine() *Machine { return p.m }
+
+// Now returns the processor's virtual clock (ns).
+func (p *Proc) Now() float64 { return p.clock }
+
+// Stats returns a snapshot of the processor's accumulated statistics.
+func (p *Proc) Stats() ProcStats { return p.snapshot() }
+
+// Compute charges ops abstract ALU operations to BUSY.
+func (p *Proc) Compute(ops int) {
+	p.ComputeNs(float64(ops) * p.m.cfg.OpNs)
+}
+
+// ComputeNs charges ns nanoseconds to BUSY.
+func (p *Proc) ComputeNs(ns float64) {
+	p.clock += ns
+	p.stats.Breakdown.Busy += ns
+	if p.phaseAcc != nil {
+		p.phaseAcc.Busy += ns
+	}
+}
+
+// WaitUntil advances the clock to t if t is in the future, charging the
+// gap to SYNC. It is the primitive under message waits and flow control.
+func (p *Proc) WaitUntil(t float64) {
+	if t > p.clock {
+		p.stats.Breakdown.Sync += t - p.clock
+		if p.phaseAcc != nil {
+			p.phaseAcc.Sync += t - p.clock
+		}
+		p.clock = t
+	}
+}
+
+// SyncNs charges ns nanoseconds of synchronization overhead.
+func (p *Proc) SyncNs(ns float64) {
+	p.clock += ns
+	p.stats.Breakdown.Sync += ns
+	if p.phaseAcc != nil {
+		p.phaseAcc.Sync += ns
+	}
+}
+
+// LocalMemNs charges ns nanoseconds of local-memory stall (library-level
+// copies and buffer management in the programming-model layers).
+func (p *Proc) LocalMemNs(ns float64) { p.chargeLocal(ns) }
+
+// RemoteMemNs charges ns nanoseconds of remote-memory stall, scaled by
+// the current contention factor.
+func (p *Proc) RemoteMemNs(ns float64) { p.chargeRemote(ns) }
+
+// AddMessageTraffic records one explicit message carrying remoteBytes
+// bytes across node boundaries (0 for an intra-node message).
+func (p *Proc) AddMessageTraffic(remoteBytes, messages int) {
+	p.stats.Traffic.RemoteBytes += int64(remoteBytes)
+	p.stats.Traffic.Messages += int64(messages)
+}
+
+// SetContention sets the remote-charge multiplier for the current
+// communication phase; 1 means uncontended. The programming-model layer
+// derives the factor from the machine config and the phase's concurrency
+// and traffic pattern.
+func (p *Proc) SetContention(f float64) {
+	if f < 1 {
+		f = 1
+	}
+	p.contention = f
+}
+
+// ContentionFactor computes the machine's deterministic contention
+// multiplier for a phase in which q processors communicate concurrently;
+// scattered marks fine-grained per-line traffic as opposed to bulk
+// transfers.
+func (p *Proc) ContentionFactor(q int, scattered bool) float64 {
+	return p.m.cfg.contentionFactor(q, scattered)
+}
+
+// ScatteredContentionFactor computes the multiplier for a scattered
+// all-to-all phase moving bytesPerProc per processor; light bursts stay
+// near 1, sustained cache-scale scatter saturates the home controllers.
+func (p *Proc) ScatteredContentionFactor(q, bytesPerProc int) float64 {
+	return p.m.cfg.scatteredContention(q, bytesPerProc)
+}
+
+// chargeLocal adds a local-memory stall.
+func (p *Proc) chargeLocal(ns float64) {
+	p.clock += ns
+	p.stats.Breakdown.LMem += ns
+	if p.phaseAcc != nil {
+		p.phaseAcc.LMem += ns
+	}
+}
+
+// chargeRemote adds a remote-memory stall, scaled by the current
+// contention factor.
+func (p *Proc) chargeRemote(ns float64) {
+	ns *= p.contention
+	p.clock += ns
+	p.stats.Breakdown.RMem += ns
+	if p.phaseAcc != nil {
+		p.phaseAcc.RMem += ns
+	}
+}
+
+// access simulates one memory reference. overlap divides the miss
+// latency: 1 for scattered dependent accesses, Config.MissOverlap for
+// sequential streams whose misses pipeline through the MSHRs.
+func (p *Proc) access(a Addr, write bool, sh Sharing, overlap float64) {
+	if p.tlb.Access(a) {
+		p.chargeLocal(p.m.cfg.TLBMissNs)
+	}
+	res := p.cache.Access(a, write)
+	if res.WriteBack {
+		p.chargeWriteback(res.WritebackAddr)
+	}
+	if res.Hit {
+		return
+	}
+	p.missCharge(a, write, sh, overlap)
+}
+
+// missCharge prices a cache miss according to the declared sharing class.
+func (p *Proc) missCharge(a Addr, write bool, sh Sharing, overlap float64) {
+	home := p.m.as.HomeOf(a)
+	cfg := &p.m.cfg
+	if cfg.FlatMemory {
+		// Ablation: uniform memory, no coherence.
+		p.chargeLocal(cfg.Topology.LocalLatency)
+		return
+	}
+	var res coherence.Result
+	switch sh {
+	case Private:
+		if write {
+			res = p.m.proto.Write(p.Node, home, -1, coherence.Unowned, nil)
+		} else {
+			res = p.m.proto.Read(p.Node, home, -1, coherence.Unowned, nil)
+		}
+	case RemoteProduced:
+		// Dirty in the home node's cache: three-hop intervention.
+		if write {
+			res = p.m.proto.Write(p.Node, home, home, coherence.Exclusive, nil)
+		} else {
+			res = p.m.proto.Read(p.Node, home, home, coherence.Exclusive, nil)
+		}
+	case SharedRead:
+		if write {
+			res = p.m.proto.Write(p.Node, home, -1, coherence.Shared, []int{home})
+		} else {
+			res = p.m.proto.Read(p.Node, home, -1, coherence.Shared, nil)
+		}
+	case ConflictWrite:
+		res = p.m.proto.Write(p.Node, home, home, coherence.Exclusive, nil)
+	case DirtyElsewhere:
+		// Three-hop with an unknown owner: request to home, intervention
+		// to the (average-distance) owner, data from owner to requester.
+		params := cfg.Coherence
+		top := p.m.top
+		avg := top.AverageReadLatency()
+		lat := top.ReadLatency(p.Node, home) + params.DirOccupancy +
+			avg + avg + top.TransferTime(params.DataBytes)
+		p.stats.Traffic.ProtocolTransactions++
+		p.stats.Traffic.RemoteBytes += int64(2*params.CtrlBytes + 2*params.DataBytes)
+		p.chargeRemote(lat / overlap)
+		return
+	}
+	p.stats.Traffic.ProtocolTransactions++
+	if home == p.Node {
+		p.chargeLocal(res.Latency / overlap)
+		return
+	}
+	p.stats.Traffic.RemoteBytes += int64(res.TrafficBytes)
+	p.chargeRemote(res.Latency / overlap)
+}
+
+// chargeWriteback prices the eviction of a dirty line. Writebacks are
+// mostly off the processor's critical path in hardware, but they occupy
+// the home memory controller and the network; we charge their occupancy
+// and wire time (not their full round-trip latency).
+func (p *Proc) chargeWriteback(a Addr) {
+	home := p.m.as.HomeOf(a)
+	cfg := &p.m.cfg
+	if cfg.FlatMemory {
+		p.chargeLocal(cfg.Coherence.DirOccupancy)
+		return
+	}
+	p.stats.Traffic.ProtocolTransactions++
+	if home == p.Node {
+		p.chargeLocal(cfg.Coherence.DirOccupancy)
+		return
+	}
+	wb := p.m.proto.Writeback(p.Node, home)
+	p.stats.Traffic.RemoteBytes += int64(wb.TrafficBytes)
+	// Occupancy + wire time; latency overlap hides the rest.
+	p.chargeRemote(cfg.Coherence.DirOccupancy + p.m.top.TransferTime(wb.TrafficBytes))
+}
+
+// Load simulates a scattered (dependent, unoverlapped) read of the line
+// containing a.
+func (p *Proc) Load(a Addr, sh Sharing) { p.access(a, false, sh, 1) }
+
+// Store simulates a scattered write to the line containing a. Stores
+// post through the write buffer, so even scattered write misses overlap
+// like streams; sustained scatter is throttled by the contention model,
+// not by per-store round trips.
+func (p *Proc) Store(a Addr, sh Sharing) { p.access(a, true, sh, p.m.cfg.MissOverlap) }
+
+// LoadSeq simulates one read within a sequential sweep: misses overlap
+// through the MSHRs, so their latency divides by Config.MissOverlap.
+func (p *Proc) LoadSeq(a Addr, sh Sharing) {
+	p.access(a, false, sh, p.m.cfg.MissOverlap)
+}
+
+// StoreSeq simulates one write within a sequential sweep.
+func (p *Proc) StoreSeq(a Addr, sh Sharing) {
+	p.access(a, true, sh, p.m.cfg.MissOverlap)
+}
+
+// LoadBlock simulates a sequential read of [a, a+bytes), touching each
+// cache line once with stream overlap.
+func (p *Proc) LoadBlock(a Addr, bytes int, sh Sharing) {
+	p.walkBlock(a, bytes, false, sh)
+}
+
+// StoreBlock simulates a sequential write of [a, a+bytes).
+func (p *Proc) StoreBlock(a Addr, bytes int, sh Sharing) {
+	p.walkBlock(a, bytes, true, sh)
+}
+
+func (p *Proc) walkBlock(a Addr, bytes int, write bool, sh Sharing) {
+	if bytes <= 0 {
+		return
+	}
+	line := Addr(p.m.cfg.Cache.LineSize)
+	end := a + Addr(bytes)
+	overlap := p.m.cfg.MissOverlap
+	for la := p.cache.LineAddr(a); la < end; la += line {
+		p.access(la, write, sh, overlap)
+	}
+}
+
+// BulkTransfer simulates a pipelined block transfer of bytes between this
+// processor's node and node other (direction does not change the cost):
+// one transaction latency plus wire time for the payload, charged to RMEM
+// (or LMEM when other is the local node). When intoCache is true the
+// destination lines land in this processor's cache, displacing whatever
+// was there (a SHMEM get fills the requester's cache; a put does not).
+// dst gives the destination addresses used for the cache installation.
+func (p *Proc) BulkTransfer(otherNode int, bytes int, dst Addr, intoCache bool) {
+	if bytes <= 0 {
+		return
+	}
+	p.stats.Traffic.Messages++
+	lat := p.m.top.ReadLatency(p.Node, otherNode) + p.m.top.TransferTime(bytes)
+	if otherNode == p.Node {
+		p.chargeLocal(lat)
+	} else {
+		p.stats.Traffic.RemoteBytes += int64(bytes)
+		p.chargeRemote(lat)
+	}
+	if intoCache {
+		line := Addr(p.m.cfg.Cache.LineSize)
+		end := dst + Addr(bytes)
+		for la := p.cache.LineAddr(dst); la < end; la += line {
+			res := p.cache.Access(la, true)
+			if res.WriteBack {
+				p.chargeWriteback(res.WritebackAddr)
+			}
+		}
+	}
+}
+
+// CacheContains reports whether this processor's cache currently holds
+// the line of a (for tests and model validation).
+func (p *Proc) CacheContains(a Addr) bool { return p.cache.Contains(a) }
+
+// InvalidateLine drops a line from this processor's cache (used when
+// another processor's write semantically invalidates it).
+func (p *Proc) InvalidateLine(a Addr) { p.cache.Invalidate(a) }
+
+// InvalidateRange drops every line of [a, a+bytes) from this processor's
+// cache: another agent (an incoming message, a remote put) overwrote the
+// region, so locally cached copies are stale.
+func (p *Proc) InvalidateRange(a Addr, bytes int) {
+	if bytes <= 0 {
+		return
+	}
+	line := Addr(p.m.cfg.Cache.LineSize)
+	end := a + Addr(bytes)
+	for la := p.cache.LineAddr(a); la < end; la += line {
+		p.cache.Invalidate(la)
+	}
+}

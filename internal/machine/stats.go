@@ -1,0 +1,56 @@
+package machine
+
+// Breakdown is the paper's per-processor execution-time decomposition,
+// all in nanoseconds of simulated time.
+type Breakdown struct {
+	// Busy is CPU time executing instructions, assuming no memory stalls.
+	Busy float64
+	// LMem is stall time for cache misses satisfied by local memory
+	// (includes TLB refills).
+	LMem float64
+	// RMem is stall time communicating remote data.
+	RMem float64
+	// Sync is time spent at synchronization events (barriers, message
+	// waits, flow-control stalls).
+	Sync float64
+}
+
+// Total returns the sum of all buckets.
+func (b Breakdown) Total() float64 { return b.Busy + b.LMem + b.RMem + b.Sync }
+
+// Mem returns LMem+RMem, the lumped MEM category the paper reports for
+// CC-SAS programs (whose tools could not split local from remote).
+func (b Breakdown) Mem() float64 { return b.LMem + b.RMem }
+
+// Add accumulates another breakdown into b.
+func (b *Breakdown) Add(o Breakdown) {
+	b.Busy += o.Busy
+	b.LMem += o.LMem
+	b.RMem += o.RMem
+	b.Sync += o.Sync
+}
+
+// Traffic counts the communication work one processor generated.
+type Traffic struct {
+	// RemoteBytes is the total bytes moved to or from remote nodes.
+	RemoteBytes int64
+	// Messages is the number of explicit messages or one-sided transfers.
+	Messages int64
+	// ProtocolTransactions is the number of coherence protocol
+	// transactions (misses priced remotely, writebacks, invalidations).
+	ProtocolTransactions int64
+}
+
+// ProcStats is everything recorded about one simulated processor.
+type ProcStats struct {
+	Breakdown Breakdown
+	Traffic   Traffic
+	// CacheAccesses/CacheMisses/TLBMisses summarize the memory models.
+	CacheAccesses uint64
+	CacheMisses   uint64
+	Writebacks    uint64
+	TLBMisses     uint64
+	// Phases holds per-phase breakdowns when the program labeled its
+	// phases with Proc.SetPhase.
+	Phases map[string]Breakdown
+}

@@ -1,0 +1,194 @@
+// Package memsys models the simulated machine's global physical address
+// space: named regions carved out of a flat address range, divided into
+// pages, with each page homed on a node according to a placement policy.
+//
+// The address space only deals in addresses and homes; data itself lives
+// in ordinary Go slices owned by the machine layer. Placement matters
+// because the NUMA cost of a miss depends on the home node of the page
+// it falls on, and because the paper's experiments are sensitive to page
+// size (the authors tune page size per data-set size).
+package memsys
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cache"
+)
+
+// Placement names a page-placement policy for a region.
+type Placement int
+
+const (
+	// PlaceBlocked divides the region into equal contiguous partitions,
+	// one per processor, homing each partition on its processor's node
+	// (partition boundaries round to pages). This matches how the sorting
+	// programs distribute their key arrays.
+	PlaceBlocked Placement = iota
+	// PlaceRoundRobin homes consecutive pages on consecutive nodes.
+	PlaceRoundRobin
+	// PlaceOnNode homes the entire region on a single node.
+	PlaceOnNode
+)
+
+// String returns the policy name.
+func (p Placement) String() string {
+	switch p {
+	case PlaceBlocked:
+		return "blocked"
+	case PlaceRoundRobin:
+		return "round-robin"
+	case PlaceOnNode:
+		return "on-node"
+	default:
+		return fmt.Sprintf("Placement(%d)", int(p))
+	}
+}
+
+// Region is a contiguous allocation in the simulated address space.
+type Region struct {
+	name   string
+	base   cache.Addr
+	size   int
+	homeOf func(offset int) int
+}
+
+// Name returns the region's diagnostic name.
+func (r *Region) Name() string { return r.name }
+
+// Base returns the region's starting address.
+func (r *Region) Base() cache.Addr { return r.base }
+
+// Size returns the region's length in bytes.
+func (r *Region) Size() int { return r.size }
+
+// Addr returns the address of byte offset within the region.
+func (r *Region) Addr(offset int) cache.Addr {
+	return r.base + cache.Addr(offset)
+}
+
+// Contains reports whether a falls inside the region.
+func (r *Region) Contains(a cache.Addr) bool {
+	return a >= r.base && a < r.base+cache.Addr(r.size)
+}
+
+// HomeOfOffset returns the home node of the page containing the byte at
+// offset.
+func (r *Region) HomeOfOffset(offset int) int { return r.homeOf(offset) }
+
+// AddressSpace allocates regions and answers home-node queries.
+type AddressSpace struct {
+	pageSize   int
+	nodes      int
+	nodeOfProc func(proc int) int
+	next       cache.Addr
+	regions    []*Region // sorted by base
+	rrNext     int       // next node for round-robin placement
+}
+
+// New builds an address space. pageSize must be a power of two; nodes is
+// the node count; nodeOfProc maps a processor to its node (used by
+// blocked placement).
+func New(pageSize, nodes int, nodeOfProc func(int) int) (*AddressSpace, error) {
+	if pageSize <= 0 || pageSize&(pageSize-1) != 0 {
+		return nil, fmt.Errorf("memsys: page size %d must be a positive power of two", pageSize)
+	}
+	if nodes <= 0 {
+		return nil, fmt.Errorf("memsys: node count must be positive, got %d", nodes)
+	}
+	if nodeOfProc == nil {
+		return nil, fmt.Errorf("memsys: nodeOfProc must not be nil")
+	}
+	return &AddressSpace{
+		pageSize:   pageSize,
+		nodes:      nodes,
+		nodeOfProc: nodeOfProc,
+		// Leave page 0 unused so the zero Addr never aliases a region.
+		next: cache.Addr(pageSize),
+	}, nil
+}
+
+// PageSize returns the page size in bytes.
+func (as *AddressSpace) PageSize() int { return as.pageSize }
+
+// align rounds n up to the next page boundary.
+func (as *AddressSpace) align(n int) int {
+	return (n + as.pageSize - 1) &^ (as.pageSize - 1)
+}
+
+func (as *AddressSpace) alloc(name string, size int, homeOf func(offset int) int) *Region {
+	r := &Region{name: name, base: as.next, size: size, homeOf: homeOf}
+	as.next += cache.Addr(as.align(size))
+	as.regions = append(as.regions, r)
+	return r
+}
+
+// AllocBlocked allocates size bytes partitioned across nProcs processors:
+// byte offsets in partition i (of size/nProcs bytes, page-rounded) are
+// homed on processor i's node.
+func (as *AddressSpace) AllocBlocked(name string, size, nProcs int) *Region {
+	if nProcs <= 0 {
+		panic(fmt.Sprintf("memsys: AllocBlocked(%q) with nProcs=%d", name, nProcs))
+	}
+	part := size / nProcs
+	if part == 0 {
+		part = 1
+	}
+	nodeOfProc := as.nodeOfProc
+	homeOf := func(offset int) int {
+		p := offset / part
+		if p >= nProcs {
+			p = nProcs - 1
+		}
+		return nodeOfProc(p)
+	}
+	return as.alloc(name, size, homeOf)
+}
+
+// AllocRoundRobin allocates size bytes with consecutive pages homed on
+// consecutive nodes.
+func (as *AddressSpace) AllocRoundRobin(name string, size int) *Region {
+	nodes := as.nodes
+	pageSize := as.pageSize
+	start := as.rrNext
+	as.rrNext = (as.rrNext + as.align(size)/pageSize) % nodes
+	homeOf := func(offset int) int {
+		return (start + offset/pageSize) % nodes
+	}
+	return as.alloc(name, size, homeOf)
+}
+
+// AllocOnNode allocates size bytes entirely homed on node.
+func (as *AddressSpace) AllocOnNode(name string, size, node int) *Region {
+	if node < 0 || node >= as.nodes {
+		panic(fmt.Sprintf("memsys: AllocOnNode(%q) node %d out of range [0,%d)", name, node, as.nodes))
+	}
+	homeOf := func(int) int { return node }
+	return as.alloc(name, size, homeOf)
+}
+
+// RegionOf returns the region containing a, or nil.
+func (as *AddressSpace) RegionOf(a cache.Addr) *Region {
+	i := sort.Search(len(as.regions), func(i int) bool {
+		return as.regions[i].base > a
+	})
+	if i == 0 {
+		return nil
+	}
+	r := as.regions[i-1]
+	if !r.Contains(a) {
+		return nil
+	}
+	return r
+}
+
+// HomeOf returns the home node of the page containing a. Addresses
+// outside any region are homed on node 0 (they arise only from
+// line-rounding at region edges).
+func (as *AddressSpace) HomeOf(a cache.Addr) int {
+	r := as.RegionOf(a)
+	if r == nil {
+		return 0
+	}
+	return r.homeOf(int(a - r.base))
+}

@@ -1,0 +1,55 @@
+package mpi
+
+import "reflect"
+
+import "repro/internal/machine"
+
+// sizeOf returns the in-memory size of T.
+func sizeOf[T any]() int {
+	var zero T
+	return int(reflect.TypeOf(zero).Size())
+}
+
+// agBlock carries one rank's contribution inside an allgather payload.
+type agBlock[T any] struct {
+	idx  int
+	data []T
+}
+
+// Allgather collects each rank's mine slice on every rank, returning
+// out[r] = rank r's contribution. It uses recursive doubling (log2(p)
+// rounds, doubling block counts each round), so its cost emerges from
+// the point-to-point model — including the staged engine's extra copies
+// and the per-message overheads the paper blames for MPI's fixed costs
+// on small data sets. All ranks must call it collectively; the rank
+// count must be a power of two (machine sizes always are).
+func Allgather[T any](c *Comm, p *machine.Proc, mine []T) [][]T {
+	ranks := c.Ranks()
+	me := p.ID
+	out := make([][]T, ranks)
+	// Decouple from the caller's buffer, as MPI semantics require.
+	own := make([]T, len(mine))
+	copy(own, mine)
+	out[me] = own
+	if ranks == 1 {
+		return out
+	}
+	es := sizeOf[T]()
+	for step := 1; step < ranks; step <<= 1 {
+		partner := me ^ step
+		var blocks []agBlock[T]
+		bytes := 0
+		for i, b := range out {
+			if b != nil {
+				blocks = append(blocks, agBlock[T]{idx: i, data: b})
+				bytes += len(b) * es
+			}
+		}
+		c.Send(p, partner, step, blocks, bytes)
+		msg := c.Recv(p, partner, 0, 0)
+		for _, b := range msg.Payload.([]agBlock[T]) {
+			out[b.idx] = b.data
+		}
+	}
+	return out
+}

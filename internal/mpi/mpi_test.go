@@ -1,0 +1,281 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func comm(t *testing.T, procs int, cfg Config) *Comm {
+	t.Helper()
+	m, err := machine.New(machine.Origin2000Scaled(procs))
+	if err != nil {
+		t.Fatalf("machine.New: %v", err)
+	}
+	return New(m, cfg)
+}
+
+func TestSendRecvDelivers(t *testing.T) {
+	for _, cfg := range []Config{DefaultDirect(), DefaultStaged()} {
+		c := comm(t, 2, cfg)
+		c.Machine().Run(func(p *machine.Proc) {
+			if p.ID == 0 {
+				c.Send(p, 1, 7, []uint32{1, 2, 3}, 12)
+			} else {
+				msg := c.Recv(p, 0, 0, 0)
+				if msg.Src != 0 || msg.Tag != 7 {
+					t.Errorf("%v: msg meta = src %d tag %d", cfg.Engine, msg.Src, msg.Tag)
+				}
+				data := msg.Payload.([]uint32)
+				if len(data) != 3 || data[2] != 3 {
+					t.Errorf("%v: payload = %v", cfg.Engine, data)
+				}
+			}
+		})
+	}
+}
+
+func TestRecvWaitsForSender(t *testing.T) {
+	c := comm(t, 2, DefaultDirect())
+	c.Machine().Run(func(p *machine.Proc) {
+		if p.ID == 0 {
+			p.Compute(100000) // sender is slow
+			c.Send(p, 1, 0, nil, 4096)
+		} else {
+			c.Recv(p, 0, 0, 0)
+			if p.Now() < 100000*c.Machine().Config().OpNs {
+				t.Errorf("receiver finished at %v, before the send", p.Now())
+			}
+			if p.Stats().Breakdown.Sync == 0 {
+				t.Error("receiver charged no sync while waiting")
+			}
+		}
+	})
+}
+
+func TestOneDeepWindowStallsSender(t *testing.T) {
+	// With BufDepth 1, a burst of sends to a slow receiver must stall the
+	// sender (the paper's explanation of MPI's SYNC time in radix sort).
+	shallow := DefaultDirect()
+	deep := DefaultDirect()
+	deep.BufDepth = 64
+
+	senderSync := func(cfg Config) float64 {
+		c := comm(t, 2, cfg)
+		var sync float64
+		c.Machine().Run(func(p *machine.Proc) {
+			if p.ID == 0 {
+				for i := 0; i < 16; i++ {
+					c.Send(p, 1, i, nil, 1024)
+				}
+				sync = p.Stats().Breakdown.Sync
+			} else {
+				for i := 0; i < 16; i++ {
+					p.Compute(20000) // slow consumer
+					c.Recv(p, 0, 0, 0)
+				}
+			}
+		})
+		return sync
+	}
+	s1 := senderSync(shallow)
+	s64 := senderSync(deep)
+	if s1 <= s64 {
+		t.Errorf("1-deep window sender sync (%v) should exceed 64-deep (%v)", s1, s64)
+	}
+	if s1 == 0 {
+		t.Error("1-deep window produced no sender stalls")
+	}
+}
+
+func TestStagedCostsMoreThanDirect(t *testing.T) {
+	// Same traffic, both engines: staged must take longer end-to-end
+	// (double copy + higher overheads).
+	elapsed := func(cfg Config) float64 {
+		c := comm(t, 2, cfg)
+		res := c.Machine().Run(func(p *machine.Proc) {
+			const msgs = 8
+			if p.ID == 0 {
+				for i := 0; i < msgs; i++ {
+					c.Send(p, 1, i, nil, 64<<10)
+				}
+			} else {
+				for i := 0; i < msgs; i++ {
+					c.Recv(p, 0, 0, 0)
+				}
+			}
+		})
+		return res.TimeNs
+	}
+	direct := elapsed(DefaultDirect())
+	staged := elapsed(DefaultStaged())
+	if staged <= direct {
+		t.Errorf("staged (%v) should be slower than direct (%v)", staged, direct)
+	}
+}
+
+func TestFIFOPerPair(t *testing.T) {
+	c := comm(t, 2, DefaultDirect())
+	c.Machine().Run(func(p *machine.Proc) {
+		if p.ID == 0 {
+			for i := 0; i < 10; i++ {
+				c.Send(p, 1, i, i, 8)
+			}
+		} else {
+			for i := 0; i < 10; i++ {
+				msg := c.Recv(p, 0, 0, 0)
+				if msg.Tag != i {
+					t.Errorf("message %d arrived with tag %d", i, msg.Tag)
+				}
+			}
+		}
+	})
+}
+
+func TestRecvInvalidatesDestination(t *testing.T) {
+	c := comm(t, 2, DefaultDirect())
+	buf := machine.NewArrayOnProc[uint32](c.Machine(), "rbuf", 256, 1)
+	c.Machine().Run(func(p *machine.Proc) {
+		if p.ID == 1 {
+			// Warm the destination lines.
+			buf.LoadRange(p, 0, 256, machine.Private)
+			if !p.CacheContains(buf.Addr(0)) {
+				t.Fatal("warmup failed")
+			}
+		}
+		c.Barrier(p)
+		if p.ID == 0 {
+			c.Send(p, 1, 0, nil, buf.Bytes(256))
+		} else {
+			c.Recv(p, 0, buf.Addr(0), buf.Bytes(256))
+			if p.CacheContains(buf.Addr(0)) {
+				t.Error("stale lines survived message arrival")
+			}
+		}
+	})
+}
+
+func TestSelfSendPanics(t *testing.T) {
+	c := comm(t, 2, DefaultDirect())
+	defer func() {
+		if recover() == nil {
+			t.Error("self-send did not panic")
+		}
+	}()
+	c.Machine().Run(func(p *machine.Proc) {
+		if p.ID == 0 {
+			c.Send(p, 0, 0, nil, 8)
+		}
+	})
+}
+
+func TestAllgather(t *testing.T) {
+	for _, procs := range []int{2, 4, 8} {
+		c := comm(t, procs, DefaultDirect())
+		c.Machine().Run(func(p *machine.Proc) {
+			mine := []int64{int64(p.ID), int64(p.ID * 10)}
+			out := Allgather(c, p, mine)
+			if len(out) != procs {
+				t.Errorf("p=%d: got %d blocks", procs, len(out))
+				return
+			}
+			for r := 0; r < procs; r++ {
+				if out[r] == nil || out[r][0] != int64(r) || out[r][1] != int64(r*10) {
+					t.Errorf("p=%d rank %d: out[%d] = %v", procs, p.ID, r, out[r])
+				}
+			}
+		})
+	}
+}
+
+func TestAllgatherSingleRank(t *testing.T) {
+	c := comm(t, 1, DefaultDirect())
+	c.Machine().Run(func(p *machine.Proc) {
+		out := Allgather(c, p, []int64{5})
+		if len(out) != 1 || out[0][0] != 5 {
+			t.Errorf("out = %v", out)
+		}
+	})
+}
+
+func TestAllgatherDecouplesBuffer(t *testing.T) {
+	c := comm(t, 2, DefaultDirect())
+	c.Machine().Run(func(p *machine.Proc) {
+		mine := []int64{int64(p.ID)}
+		out := Allgather(c, p, mine)
+		mine[0] = 999 // mutating the send buffer must not affect results
+		if out[p.ID][0] != int64(p.ID) {
+			t.Error("allgather aliases the caller's buffer")
+		}
+	})
+}
+
+func TestAllgatherDeterministic(t *testing.T) {
+	run := func() float64 {
+		c := comm(t, 8, DefaultStaged())
+		res := c.Machine().Run(func(p *machine.Proc) {
+			mine := make([]int64, 64)
+			Allgather(c, p, mine)
+		})
+		return res.TimeNs
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("non-deterministic allgather: %v vs %v", a, b)
+	}
+}
+
+func TestConfigFor(t *testing.T) {
+	if ConfigFor(Direct).Engine != Direct || ConfigFor(Staged).Engine != Staged {
+		t.Error("ConfigFor wires the wrong engines")
+	}
+	if Direct.String() != "NEW" || Staged.String() != "SGI" {
+		t.Error("engine labels should match the paper's figures")
+	}
+}
+
+func TestScaledDividesFixedCosts(t *testing.T) {
+	c := DefaultDirect().Scaled(16)
+	base := DefaultDirect()
+	if c.SendOverheadNs != base.SendOverheadNs/16 ||
+		c.RecvOverheadNs != base.RecvOverheadNs/16 ||
+		c.DeliveryNs != base.DeliveryNs/16 {
+		t.Errorf("Scaled(16) = %+v", c)
+	}
+	if c.CopyNsPerByte != base.CopyNsPerByte {
+		t.Error("Scaled must not change per-byte costs")
+	}
+	if c.BufDepth != base.BufDepth {
+		t.Error("Scaled must not change window depth")
+	}
+}
+
+func TestStagedReceiverPaysCopy(t *testing.T) {
+	c := comm(t, 2, DefaultStaged())
+	c.Machine().Run(func(p *machine.Proc) {
+		if p.ID == 0 {
+			c.Send(p, 1, 0, nil, 64<<10)
+		} else {
+			before := p.Stats().Breakdown.LMem
+			c.Recv(p, 0, 0, 0)
+			copied := p.Stats().Breakdown.LMem - before
+			want := float64(64<<10) * DefaultStaged().CopyNsPerByte
+			if copied < want*0.99 {
+				t.Errorf("receiver copy charge %v, want >= %v", copied, want)
+			}
+		}
+	})
+}
+
+func TestDirectSenderPaysTransfer(t *testing.T) {
+	c := comm(t, 4, DefaultDirect())
+	c.Machine().Run(func(p *machine.Proc) {
+		if p.ID == 0 {
+			c.Send(p, 3, 0, nil, 64<<10) // rank 3 is on the other node
+			if p.Stats().Breakdown.RMem == 0 {
+				t.Error("direct sender to a remote node charged no RMem")
+			}
+		} else if p.ID == 3 {
+			c.Recv(p, 0, 0, 0)
+		}
+	})
+}

@@ -1,0 +1,281 @@
+// Package perfmodel implements the paper's stated future work: an
+// analytic formula that predicts parallel radix sort performance per
+// programming model from machine parameters and workload shape, without
+// running the program.
+//
+// The model decomposes one radix pass into the paper's phases —
+// histogram sweep, histogram accumulation/exchange, permutation, and
+// synchronization — and prices each from first principles using the same
+// machine constants the simulator uses. Its purpose is what the authors
+// intended: given a profile-free description of machine and workload,
+// say which programming model will win and by roughly how much. The
+// package's tests validate the predictions against the simulator.
+package perfmodel
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/mpi"
+	"repro/internal/shmem"
+)
+
+// Workload describes one radix sort run.
+type Workload struct {
+	// N is the total key count; Procs the processor count; Radix the
+	// digit width in bits; KeyBits the key width (31 in the paper).
+	N, Procs, Radix, KeyBits int
+}
+
+// Passes returns the pass count.
+func (w Workload) Passes() int {
+	kb := w.KeyBits
+	if kb == 0 {
+		kb = 31
+	}
+	return (kb + w.Radix - 1) / w.Radix
+}
+
+// Model names a predicted programming model.
+type Model string
+
+// Predicted models.
+const (
+	CCSAS    Model = "ccsas"
+	CCSASNew Model = "ccsas-new"
+	MPI      Model = "mpi"
+	SHMEM    Model = "shmem"
+)
+
+// Prediction is the analytic estimate for one model.
+type Prediction struct {
+	Model Model
+	// TimeNs is the predicted execution time.
+	TimeNs float64
+	// Phases itemizes per-pass costs (already multiplied by pass count),
+	// keyed by phase name: "sweep", "histogram", "permute", "transfer",
+	// "sync".
+	Phases map[string]float64
+}
+
+// Predictor prices workloads on one machine configuration.
+type Predictor struct {
+	cfg   machine.Config
+	mpi   mpi.Config
+	shmem shmem.Config
+}
+
+// New builds a predictor. The mpi/shmem configs must match the ones the
+// programs run with (scaled on the scaled machine).
+func New(cfg machine.Config, mpiCfg mpi.Config, shmemCfg shmem.Config) (*Predictor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Predictor{cfg: cfg, mpi: mpiCfg, shmem: shmemCfg}, nil
+}
+
+// constants mirroring the simulator's per-key ALU charges.
+const (
+	sweepOpsPerKey   = 8 + 3 // digit extraction + histogram access bookkeeping
+	permuteOpsPerKey = 13
+)
+
+// lineKeys returns keys per cache line.
+func (pr *Predictor) lineKeys() float64 { return float64(pr.cfg.Cache.LineSize) / 4 }
+
+// localMissNs prices a local two-hop fill.
+func (pr *Predictor) localMissNs() float64 {
+	return pr.cfg.Topology.LocalLatency + pr.cfg.Coherence.DirOccupancy +
+		float64(pr.cfg.Coherence.DataBytes)/pr.cfg.Topology.LinkBandwidth
+}
+
+// remoteMissNs prices an average remote three-hop intervention.
+func (pr *Predictor) remoteMissNs() float64 {
+	avg := pr.cfg.Topology.RemoteBaseLatency + pr.cfg.Topology.HopLatency*2
+	return avg + pr.cfg.Coherence.DirOccupancy + avg +
+		float64(pr.cfg.Coherence.DataBytes)/pr.cfg.Topology.LinkBandwidth
+}
+
+// missRatio estimates the fraction of per-key accesses that miss in a
+// streaming pass: one miss per line when the working set exceeds the
+// cache, vanishing when it fits comfortably.
+func (pr *Predictor) missRatio(bytesPerProc int) float64 {
+	perLine := 1 / pr.lineKeys()
+	ratio := float64(2*bytesPerProc) / float64(pr.cfg.Cache.Size) // src+dst toggling
+	if ratio >= 1 {
+		return perLine
+	}
+	return perLine * ratio
+}
+
+// tlbMissRatio estimates scattered-write TLB misses per key: the writer
+// cycles through one active page per bucket, competing with the read
+// stream for the TLB, so misses ramp smoothly once the active set
+// reaches about half the TLB and saturate as it dwarfs it.
+func (pr *Predictor) tlbMissRatio(spanBytes, buckets int) float64 {
+	pages := spanBytes / pr.cfg.TLB.PageSize
+	active := buckets
+	if active > pages {
+		active = pages
+	}
+	pressure := float64(active) / float64(pr.cfg.TLB.Entries)
+	if pressure <= 0.5 {
+		return 0
+	}
+	return 1 - 1/(2*pressure)
+}
+
+// Predict returns the analytic estimate for one model.
+func (pr *Predictor) Predict(model Model, w Workload) (*Prediction, error) {
+	if w.N <= 0 || w.Procs <= 0 || w.Radix < 1 || w.Radix > 16 {
+		return nil, fmt.Errorf("perfmodel: bad workload %+v", w)
+	}
+	passes := float64(w.Passes())
+	np := float64(w.N / w.Procs)
+	buckets := 1 << w.Radix
+	opNs := pr.cfg.OpNs
+	overlap := pr.cfg.MissOverlap
+
+	phases := map[string]float64{}
+
+	// Histogram sweep: busy + streamed key reads + TLB-free sequential
+	// access.
+	sweepBusy := np * sweepOpsPerKey * opNs
+	sweepMem := np * pr.missRatio(int(np)*4) * pr.localMissNs() / overlap
+	phases["sweep"] = passes * (sweepBusy + sweepMem)
+
+	// Permutation: busy + the local write stream (all models permute
+	// locally first except plain CC-SAS, which scatters remotely).
+	permBusy := np * permuteOpsPerKey * opNs
+	tlbLocal := np * pr.tlbMissRatio(int(np)*4, buckets) * pr.cfg.TLBMissNs
+	phases["permute"] = passes * (permBusy + tlbLocal)
+
+	remoteFrac := 1 - 1/float64(w.Procs) // fraction of keys leaving the processor
+	bytesMoved := np * 4 * remoteFrac
+	wire := bytesMoved / pr.cfg.Topology.LinkBandwidth
+
+	switch model {
+	case CCSAS:
+		// Scattered remote writes: per-line three-hop ownership transfers
+		// plus writebacks, under saturated-scatter contention; TLB misses
+		// span the whole output array.
+		cont := contentionScattered(pr.cfg, w.Procs, int(np)*4)
+		lines := np / pr.lineKeys() * remoteFrac
+		scatter := lines * (pr.remoteMissNs()/overlap + wbNs(pr.cfg)) * cont
+		tlbGlobal := np * pr.tlbMissRatio(w.N*4, buckets) * pr.cfg.TLBMissNs
+		phases["transfer"] = passes * scatter
+		phases["permute"] = passes * (permBusy + tlbGlobal)
+		phases["histogram"] = passes * pr.treeNs(w.Procs, buckets)
+	case CCSASNew:
+		cont := 1 + (contentionScattered(pr.cfg, w.Procs, int(np)*4)-1)/2
+		lines := np / pr.lineKeys() * remoteFrac
+		phases["transfer"] = passes * lines * (pr.remoteMissNs() / overlap) * cont
+		phases["histogram"] = passes * pr.treeNs(w.Procs, buckets)
+	case SHMEM:
+		chunks := float64(buckets)
+		get := pr.shmem.GetOverheadNs + pr.cfg.Topology.RemoteBaseLatency
+		phases["transfer"] = passes * (chunks*get + wire)
+		phases["histogram"] = passes * pr.collectNs(w.Procs, buckets)
+	case MPI:
+		chunks := float64(buckets)
+		msg := pr.mpi.SendOverheadNs + pr.mpi.RecvOverheadNs + pr.cfg.Topology.RemoteBaseLatency
+		phases["transfer"] = passes * (chunks*msg + wire)
+		phases["histogram"] = passes * pr.allgatherNs(w.Procs, buckets)
+	default:
+		return nil, fmt.Errorf("perfmodel: unknown model %q", model)
+	}
+
+	// Synchronization: two barriers per pass.
+	logp := 0
+	for 1<<logp < w.Procs {
+		logp++
+	}
+	barrier := pr.cfg.BarrierBaseNs + pr.cfg.BarrierPerLogNs*float64(logp)
+	phases["sync"] = passes * 2 * barrier
+
+	total := 0.0
+	for _, v := range phases {
+		total += v
+	}
+	return &Prediction{Model: model, TimeNs: total, Phases: phases}, nil
+}
+
+// PredictAll ranks all models for a workload, best first.
+func (pr *Predictor) PredictAll(w Workload) ([]*Prediction, error) {
+	models := []Model{SHMEM, MPI, CCSASNew, CCSAS}
+	out := make([]*Prediction, 0, len(models))
+	for _, m := range models {
+		p, err := pr.Predict(m, w)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	// Insertion sort by predicted time.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].TimeNs < out[j-1].TimeNs; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out, nil
+}
+
+// treeNs prices the CC-SAS prefix tree's critical path.
+func (pr *Predictor) treeNs(procs, buckets int) float64 {
+	if procs == 1 {
+		return 0
+	}
+	levels := 0
+	for 1<<levels < procs {
+		levels++
+	}
+	lines := float64(buckets*4) / float64(pr.cfg.Cache.LineSize)
+	perLevel := lines*pr.remoteMissNs()/pr.cfg.MissOverlap +
+		pr.cfg.Topology.RemoteBaseLatency + // flag transfer
+		2*float64(buckets)*pr.cfg.OpNs
+	return 2 * float64(levels) * perLevel
+}
+
+// collectNs prices the SHMEM histogram allgather.
+func (pr *Predictor) collectNs(procs, buckets int) float64 {
+	bytes := float64((procs - 1) * buckets * 4)
+	gets := float64(procs - 1)
+	return pr.shmem.CollectiveEntryNs +
+		gets*(pr.shmem.GetOverheadNs+pr.cfg.Topology.RemoteBaseLatency) +
+		bytes/pr.cfg.Topology.LinkBandwidth
+}
+
+// allgatherNs prices the MPI recursive-doubling histogram allgather.
+func (pr *Predictor) allgatherNs(procs, buckets int) float64 {
+	if procs == 1 {
+		return 0
+	}
+	rounds := 0
+	for 1<<rounds < procs {
+		rounds++
+	}
+	bytes := float64((procs - 1) * buckets * 4)
+	perRound := pr.mpi.SendOverheadNs + pr.mpi.RecvOverheadNs + pr.cfg.Topology.RemoteBaseLatency
+	return float64(rounds)*perRound + bytes/pr.cfg.Topology.LinkBandwidth
+}
+
+// wbNs prices one writeback's charged share.
+func wbNs(cfg machine.Config) float64 {
+	return cfg.Coherence.DirOccupancy +
+		float64(cfg.Coherence.DataBytes+cfg.Coherence.CtrlBytes)/cfg.Topology.LinkBandwidth
+}
+
+// contentionScattered mirrors the machine's saturation model.
+func contentionScattered(cfg machine.Config, q, bytesPerProc int) float64 {
+	if q <= 1 {
+		return 1
+	}
+	load := float64(bytesPerProc) / float64(cfg.Cache.Size)
+	if load < cfg.ContentionLoadFloor {
+		load = cfg.ContentionLoadFloor
+	}
+	if load > 1 {
+		load = 1
+	}
+	return 1 + cfg.ContentionScatteredPerProc*float64(q-1)*load
+}

@@ -1,0 +1,204 @@
+package shmem
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func comm(t *testing.T, procs int) *Comm {
+	t.Helper()
+	m, err := machine.New(machine.Origin2000Scaled(procs))
+	if err != nil {
+		t.Fatalf("machine.New: %v", err)
+	}
+	return New(m, DefaultConfig())
+}
+
+func TestGetMovesDataAndCharges(t *testing.T) {
+	c := comm(t, 4)
+	sym := NewSym[uint32](c, "buf", 1024)
+	res := c.Machine().Run(func(p *machine.Proc) {
+		// Rank 3 fills its segment; rank 0 gets it after a barrier.
+		if p.ID == 3 {
+			for i := range sym.Local(p).Data {
+				sym.Local(p).Data[i] = uint32(i) * 7
+			}
+			sym.Local(p).StoreRange(p, 0, 1024, machine.Private)
+		}
+		c.Barrier(p)
+		if p.ID == 0 {
+			sym.Get(p, 0, 3, 0, 1024)
+			for i, v := range sym.Local(p).Data {
+				if v != uint32(i)*7 {
+					t.Errorf("element %d = %d, want %d", i, v, uint32(i)*7)
+					break
+				}
+			}
+			// Get fills the requester's cache.
+			if !p.CacheContains(sym.Local(p).Addr(0)) {
+				t.Error("get did not install lines in the caller's cache")
+			}
+		}
+	})
+	if res.PerProc[0].Breakdown.RMem == 0 {
+		t.Error("get from a remote rank charged no RMem")
+	}
+	if res.PerProc[0].Traffic.Messages == 0 {
+		t.Error("get recorded no message")
+	}
+}
+
+func TestPutMovesDataWithoutCachingAtDest(t *testing.T) {
+	c := comm(t, 4)
+	sym := NewSym[uint32](c, "buf", 256)
+	c.Machine().Run(func(p *machine.Proc) {
+		if p.ID == 1 {
+			for i := range sym.Local(p).Data {
+				sym.Local(p).Data[i] = 42
+			}
+			sym.Put(p, 2, 0, 0, 256)
+		}
+		c.Barrier(p)
+		if p.ID == 2 {
+			if sym.Local(p).Data[0] != 42 {
+				t.Errorf("put data did not arrive: %d", sym.Local(p).Data[0])
+			}
+			// Put does not deposit into the destination cache.
+			if p.CacheContains(sym.Local(p).Addr(0)) {
+				t.Error("put deposited lines into destination cache")
+			}
+		}
+	})
+}
+
+func TestGetZeroLengthIsFree(t *testing.T) {
+	c := comm(t, 2)
+	sym := NewSym[uint32](c, "buf", 16)
+	res := c.Machine().Run(func(p *machine.Proc) {
+		if p.ID == 0 {
+			sym.Get(p, 0, 1, 0, 0)
+		}
+	})
+	if got := res.PerProc[0].Breakdown.Total(); got != 0 {
+		t.Errorf("zero-length get cost %v, want 0", got)
+	}
+}
+
+func TestGetIntoPrivateBuffer(t *testing.T) {
+	c := comm(t, 4)
+	sym := NewSym[uint32](c, "src", 64)
+	c.Machine().Run(func(p *machine.Proc) {
+		if p.ID == 2 {
+			for i := range sym.Local(p).Data {
+				sym.Local(p).Data[i] = 9
+			}
+		}
+		c.Barrier(p)
+		if p.ID == 0 {
+			buf := machine.NewArrayOnProc[uint32](c.Machine(), "priv", 64, 0)
+			sym.GetInto(p, buf, 0, 2, 0, 64)
+			if buf.Data[0] != 9 || buf.Data[63] != 9 {
+				t.Errorf("GetInto data wrong: %d, %d", buf.Data[0], buf.Data[63])
+			}
+		}
+	})
+}
+
+func TestCollectGathersAll(t *testing.T) {
+	const procs, count = 8, 4
+	c := comm(t, procs)
+	src := NewSym[int64](c, "src", count)
+	dst := NewSym[int64](c, "dst", count*procs)
+	c.Machine().Run(func(p *machine.Proc) {
+		for i := 0; i < count; i++ {
+			src.Local(p).Data[i] = int64(p.ID*100 + i)
+		}
+		src.Local(p).StoreRange(p, 0, count, machine.Private)
+		Collect(p, src, dst, count)
+		c.Barrier(p)
+		for r := 0; r < procs; r++ {
+			for i := 0; i < count; i++ {
+				want := int64(r*100 + i)
+				if got := dst.Local(p).Data[r*count+i]; got != want {
+					t.Errorf("proc %d dst[%d][%d] = %d, want %d", p.ID, r, i, got, want)
+					return
+				}
+			}
+		}
+	})
+}
+
+func TestCollectDeterministic(t *testing.T) {
+	run := func() float64 {
+		c := comm(t, 8)
+		src := NewSym[int64](c, "s", 16)
+		dst := NewSym[int64](c, "d", 16*8)
+		res := c.Machine().Run(func(p *machine.Proc) {
+			for i := range src.Local(p).Data {
+				src.Local(p).Data[i] = int64(p.ID + i)
+			}
+			Collect(p, src, dst, 16)
+		})
+		return res.TimeNs
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("non-deterministic collect: %v vs %v", a, b)
+	}
+}
+
+func TestSymSegmentHoming(t *testing.T) {
+	c := comm(t, 8)
+	sym := NewSym[uint32](c, "seg", 1024)
+	as := c.Machine().AddressSpace()
+	top := c.Machine().Topology()
+	for r := 0; r < 8; r++ {
+		if got, want := as.HomeOf(sym.Seg[r].Addr(0)), top.NodeOf(r); got != want {
+			t.Errorf("rank %d segment homed on node %d, want %d", r, got, want)
+		}
+	}
+}
+
+func TestPutRemoteCostsMoreThanLocalNode(t *testing.T) {
+	c := comm(t, 8) // 4 nodes
+	sym := NewSym[uint32](c, "b", 4096)
+	res := c.Machine().Run(func(p *machine.Proc) {
+		switch p.ID {
+		case 0:
+			sym.Put(p, 1, 0, 0, 4096) // rank 1 shares node 0
+		case 4:
+			sym.Put(p, 7, 0, 0, 4096) // ranks 4,7 on different nodes
+		}
+	})
+	sameNode := res.PerProc[0].Breakdown.Total()
+	crossNode := res.PerProc[4].Breakdown.Total()
+	if sameNode >= crossNode {
+		t.Errorf("same-node put (%v) should be cheaper than cross-node (%v)", sameNode, crossNode)
+	}
+}
+
+func TestScaledDividesFixedCosts(t *testing.T) {
+	base := DefaultConfig()
+	c := base.Scaled(16)
+	if c.GetOverheadNs != base.GetOverheadNs/16 ||
+		c.PutOverheadNs != base.PutOverheadNs/16 ||
+		c.CollectiveEntryNs != base.CollectiveEntryNs/16 {
+		t.Errorf("Scaled(16) = %+v", c)
+	}
+}
+
+func TestGetFromSameNodeRankIsLocal(t *testing.T) {
+	c := comm(t, 4)
+	sym := NewSym[uint32](c, "l", 256)
+	res := c.Machine().Run(func(p *machine.Proc) {
+		if p.ID == 0 {
+			sym.Get(p, 0, 1, 0, 256) // rank 1 shares node 0
+		}
+	})
+	if res.PerProc[0].Breakdown.RMem != 0 {
+		t.Errorf("same-node get charged RMem %v", res.PerProc[0].Breakdown.RMem)
+	}
+	if res.PerProc[0].Breakdown.LMem == 0 {
+		t.Error("same-node get charged nothing")
+	}
+}

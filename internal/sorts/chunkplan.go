@@ -1,0 +1,114 @@
+package sorts
+
+// chunkPlan captures, for one radix pass, where every processor's
+// bucket-major send buffer scatters into the globally partitioned output
+// array. Each processor computes the plan locally and redundantly from
+// the allgathered histograms (as the paper's MPI and SHMEM programs do),
+// so senders know exactly what to send and receivers know exactly what
+// to expect — one of the simplifications the paper credits to having all
+// histogram data locally.
+type chunkPlan struct {
+	n, procs, buckets int
+	// gStart[d] is the global output index where bucket d begins.
+	gStart []int64
+	// rank[i][d] is processor i's key count rank within bucket d
+	// (exclusive prefix over processors).
+	rank [][]int64
+	// bufPos[i][d] is bucket d's offset inside processor i's bucket-major
+	// send buffer (exclusive prefix over buckets of i's histogram).
+	bufPos [][]int64
+	hists  [][]int32
+}
+
+// chunk is one contiguous run of keys moving from a source processor's
+// send buffer to a destination processor's output partition.
+type chunk struct {
+	// srcOff is the offset within the source's send buffer.
+	srcOff int
+	// dstOff is the offset within the destination's partition.
+	dstOff int
+	// count is the number of keys.
+	count int
+	// bucket is the radix digit the run belongs to (diagnostics).
+	bucket int
+}
+
+// newChunkPlan builds the plan for n total keys over the given per-
+// processor histograms.
+func newChunkPlan(n int, hists [][]int32) *chunkPlan {
+	P := len(hists)
+	B := len(hists[0])
+	pl := &chunkPlan{n: n, procs: P, buckets: B, hists: hists}
+	pl.gStart = make([]int64, B)
+	pl.rank = make([][]int64, P)
+	pl.bufPos = make([][]int64, P)
+	for i := 0; i < P; i++ {
+		pl.rank[i] = make([]int64, B)
+		pl.bufPos[i] = make([]int64, B)
+	}
+	// rank: exclusive scan over processors per bucket; total per bucket.
+	totals := make([]int64, B)
+	for d := 0; d < B; d++ {
+		var run int64
+		for i := 0; i < P; i++ {
+			pl.rank[i][d] = run
+			run += int64(hists[i][d])
+		}
+		totals[d] = run
+	}
+	// gStart: exclusive scan over buckets.
+	var run int64
+	for d := 0; d < B; d++ {
+		pl.gStart[d] = run
+		run += totals[d]
+	}
+	// bufPos: per-processor bucket-major layout.
+	for i := 0; i < P; i++ {
+		var off int64
+		for d := 0; d < B; d++ {
+			pl.bufPos[i][d] = off
+			off += int64(hists[i][d])
+		}
+	}
+	return pl
+}
+
+// computeOps returns the abstract operation count of building the plan
+// (charged to each processor, since each builds it redundantly): the
+// rank scan over all processors' histograms dominates.
+func (pl *chunkPlan) computeOps() int {
+	return pl.procs*pl.buckets + 2*pl.buckets
+}
+
+// sendChunks returns the contiguous runs processor src contributes to
+// processor dst's partition, in bucket order.
+func (pl *chunkPlan) sendChunks(src, dst int) []chunk {
+	plo64, phi64 := int64(dst)*int64(pl.n)/int64(pl.procs),
+		int64(dst+1)*int64(pl.n)/int64(pl.procs)
+	var out []chunk
+	for d := 0; d < pl.buckets; d++ {
+		cnt := int64(pl.hists[src][d])
+		if cnt == 0 {
+			continue
+		}
+		cs := pl.gStart[d] + pl.rank[src][d]
+		ce := cs + cnt
+		s, e := cs, ce
+		if plo64 > s {
+			s = plo64
+		}
+		if phi64 < e {
+			e = phi64
+		}
+		if e <= s {
+			continue
+		}
+		out = append(out, chunk{
+			srcOff: int(pl.bufPos[src][d] + (s - cs)),
+			dstOff: int(s - plo64),
+			count:  int(e - s),
+			bucket: d,
+		})
+	}
+	return out
+}

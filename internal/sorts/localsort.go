@@ -1,0 +1,128 @@
+package sorts
+
+import (
+	"repro/internal/machine"
+)
+
+// localScratch holds one processor's private working state for local
+// radix sorting: the histogram array (modeled in the simulated address
+// space so its cache footprint is charged — the radix-size tradeoff
+// depends on it) and host-side position counters.
+type localScratch struct {
+	hist *machine.Array[int32]
+}
+
+// newLocalScratch allocates scratch for a processor.
+func newLocalScratch(m *machine.Machine, name string, buckets, proc int) *localScratch {
+	return &localScratch{
+		hist: machine.NewArrayOnProc[int32](m, name, buckets, proc),
+	}
+}
+
+// countPass builds the histogram of the pass-th digit of
+// arr.Data[lo:lo+n], charging one sequential key sweep plus per-key
+// histogram accesses. firstClass prices the key reads' misses.
+func countPass(p *machine.Proc, arr *machine.Array[uint32], lo, n int,
+	pass int, cfg Config, sc *localScratch, firstClass machine.Sharing) []int32 {
+	b := cfg.Buckets()
+	hist := sc.hist
+	for j := 0; j < b; j++ {
+		hist.Data[j] = 0
+	}
+	hist.StoreRange(p, 0, b, machine.Private)
+	p.Compute(b)
+	for i := lo; i < lo+n; i++ {
+		arr.LoadSeq(p, i, firstClass)
+		d := digit(arr.Data[i], pass, cfg.Radix)
+		hist.Load(p, d, machine.Private)
+		hist.Data[d]++
+		p.Compute(8) // shift, mask, load/add/store counter, loop control
+	}
+	out := make([]int32, b)
+	copy(out, hist.Data)
+	return out
+}
+
+// permutePass scatters arr.Data[lo:lo+n] into dst according to pos,
+// where pos[d] is the (mutable) next destination index for digit d.
+// Destination stores are priced with dstClass; key re-reads with
+// srcClass. pos is advanced in place.
+func permutePass(p *machine.Proc, arr, dst *machine.Array[uint32], lo, n int,
+	pass int, cfg Config, sc *localScratch, pos []int64,
+	srcClass, dstClass machine.Sharing) {
+	for i := lo; i < lo+n; i++ {
+		arr.LoadSeq(p, i, srcClass)
+		k := arr.Data[i]
+		d := digit(k, pass, cfg.Radix)
+		sc.hist.Load(p, d, machine.Private) // position counter access
+		at := pos[d]
+		pos[d]++
+		dst.Store(p, int(at), k, dstClass)
+		p.Compute(13) // shift/mask, position load/bump/store, addressing, loop
+	}
+}
+
+// exclusiveScan turns counts into exclusive prefix positions starting at
+// base, charging the scan.
+func exclusiveScan(p *machine.Proc, counts []int32, base int64) []int64 {
+	pos := make([]int64, len(counts))
+	run := base
+	for d, c := range counts {
+		pos[d] = run
+		run += int64(c)
+	}
+	p.Compute(2 * len(counts))
+	return pos
+}
+
+// localRadixSort sorts arr.Data[lo:lo+n] ascending using cfg.Passes()
+// counting passes that toggle between arr and tmp (same index range).
+// It returns true when the sorted result ended up in tmp. firstClass
+// prices the very first sweep's key reads (later sweeps read data this
+// processor itself wrote: Private).
+func localRadixSort(p *machine.Proc, arr, tmp *machine.Array[uint32], lo, n int,
+	cfg Config, sc *localScratch, firstClass machine.Sharing) (inTmp bool) {
+	if n <= 0 {
+		return false
+	}
+	cur, nxt := arr, tmp
+	class := firstClass
+	for pass := 0; pass < cfg.Passes(); pass++ {
+		counts := countPass(p, cur, lo, n, pass, cfg, sc, class)
+		pos := exclusiveScan(p, counts, int64(lo))
+		permutePass(p, cur, nxt, lo, n, pass, cfg, sc, pos, class, machine.Private)
+		cur, nxt = nxt, cur
+		class = machine.Private
+	}
+	return cur == tmp
+}
+
+// SeqRadix runs the sequential radix sort the paper uses as the speedup
+// baseline for both algorithms (Table 1). m must be a 1-processor
+// machine.
+func SeqRadix(m *machine.Machine, keysIn []uint32, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := len(keysIn)
+	arr := machine.NewArrayOnProc[uint32](m, "seq.keys", n, 0)
+	tmp := machine.NewArrayOnProc[uint32](m, "seq.tmp", n, 0)
+	sc := newLocalScratch(m, "seq.hist", cfg.Buckets(), 0)
+	copy(arr.Data, keysIn)
+	m.ResetMemory()
+	var inTmp bool
+	run := m.Run(func(p *machine.Proc) {
+		if p.ID != 0 {
+			return
+		}
+		inTmp = localRadixSort(p, arr, tmp, 0, n, cfg, sc, machine.Private)
+	})
+	out := arr
+	if inTmp {
+		out = tmp
+	}
+	sorted := make([]uint32, n)
+	copy(sorted, out.Data)
+	return &Result{Algorithm: "radix", Model: "seq", Sorted: sorted, Run: run}, nil
+}

@@ -1,0 +1,82 @@
+package sorts
+
+import (
+	"testing"
+
+	"repro/internal/keys"
+	"repro/internal/machine"
+)
+
+func TestRadixPhaseAttribution(t *testing.T) {
+	m := scaled(t, 8)
+	in := genKeys(t, keys.Gauss, 1<<15, 8, 8)
+	res, err := RadixCCSAS(m, in, Config{Radix: 8}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := res.Run.PerProc[3]
+	if ps.Phases == nil {
+		t.Fatal("no phase breakdowns recorded")
+	}
+	for _, want := range []string{"count", "histogram", "permute", "sync"} {
+		if _, ok := ps.Phases[want]; !ok {
+			t.Errorf("missing phase %q (have %v)", want, phaseNames(ps.Phases))
+		}
+	}
+	// Phase totals must not exceed the overall breakdown.
+	var phaseSum float64
+	for _, b := range ps.Phases {
+		phaseSum += b.Total()
+	}
+	if phaseSum > ps.Breakdown.Total()+1e-6 {
+		t.Errorf("phase sum %v exceeds total %v", phaseSum, ps.Breakdown.Total())
+	}
+	// In the original CC-SAS at scale, the permute phase dominates.
+	if ps.Phases["permute"].Total() < ps.Phases["count"].Total() {
+		t.Errorf("permute (%v) should dominate count (%v) in scattered CC-SAS",
+			ps.Phases["permute"].Total(), ps.Phases["count"].Total())
+	}
+}
+
+func TestSamplePhaseAttribution(t *testing.T) {
+	m := scaled(t, 8)
+	in := genKeys(t, keys.Gauss, 1<<15, 8, 8)
+	res, err := SampleSHMEM(m, in, Config{Radix: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := res.Run.PerProc[0]
+	for _, want := range []string{"localsort1", "splitters", "redistribute", "localsort2"} {
+		if _, ok := ps.Phases[want]; !ok {
+			t.Errorf("missing phase %q (have %v)", want, phaseNames(ps.Phases))
+		}
+	}
+	// The two local sorts together dominate sample sort at scale (the
+	// paper's explanation for its large-size loss to radix).
+	sorts := ps.Phases["localsort1"].Total() + ps.Phases["localsort2"].Total()
+	if sorts < ps.Phases["redistribute"].Total() {
+		t.Errorf("local sorts (%v) should dominate redistribution (%v)",
+			sorts, ps.Phases["redistribute"].Total())
+	}
+}
+
+func TestShmemRadixTransferPhaseRemote(t *testing.T) {
+	m := scaled(t, 8)
+	in := genKeys(t, keys.Remote, 1<<15, 8, 8)
+	res, err := RadixSHMEM(m, in, Config{Radix: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Run.PerProc[2].Phases["transfer"]
+	if tr.RMem == 0 {
+		t.Error("transfer phase recorded no remote time under the remote distribution")
+	}
+}
+
+func phaseNames(m map[string]machine.Breakdown) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package sorts
+
+import (
+	"fmt"
+
+	"repro/internal/ccsas"
+	"repro/internal/machine"
+)
+
+// RadixCCSAS runs the parallel radix sort under the cache-coherent
+// shared address space model. With buffered == false it is the original
+// SPLASH-2 program: keys are written directly into the (mostly remote)
+// output partitions as their positions are computed, producing the
+// temporally scattered remote writes whose coherence-protocol traffic
+// the paper identifies as the bottleneck. With buffered == true it is
+// the paper's improved CC-SAS-NEW: keys are first permuted into a local
+// buffer and then copied to their destinations in contiguous chunks.
+func RadixCCSAS(m *machine.Machine, keysIn []uint32, cfg Config, buffered bool) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := len(keysIn)
+	P := m.Procs()
+	B := cfg.Buckets()
+
+	src := machine.NewArrayBlocked[uint32](m, "rcc.src", n)
+	dst := machine.NewArrayBlocked[uint32](m, "rcc.dst", n)
+	copy(src.Data, keysIn)
+
+	world := ccsas.NewWorld(m)
+	tree := ccsas.NewPrefixTree(world, B)
+	scratch := make([]*localScratch, P)
+	var bufs []*machine.Array[uint32]
+	for i := 0; i < P; i++ {
+		scratch[i] = newLocalScratch(m, fmt.Sprintf("rcc.hist%d", i), B, i)
+		if buffered {
+			lo, hi := bounds(n, P, i)
+			bufs = append(bufs, machine.NewArrayOnProc[uint32](m,
+				fmt.Sprintf("rcc.buf%d", i), hi-lo, i))
+		}
+	}
+	m.ResetMemory()
+
+	run := m.Run(func(p *machine.Proc) {
+		lo, hi := bounds(n, P, p.ID)
+		np := hi - lo
+		scatteredFactor := p.ScatteredContentionFactor(P, 4*np)
+		bulkFactor := p.ContentionFactor(P, false)
+		sc := scratch[p.ID]
+		cur, nxt := src, dst
+		// Pass 0 reads the freshly initialized local partition; later
+		// passes read data scattered in by all processors.
+		readClass := machine.Private
+		for pass := 0; pass < cfg.Passes(); pass++ {
+			p.SetPhase("count")
+			counts := countPass(p, cur, lo, np, pass, cfg, sc, readClass)
+
+			// Histogram accumulation through the binary prefix tree.
+			p.SetPhase("histogram")
+			rank, total := tree.Reduce(p, counts)
+
+			// Global write position for my keys of digit d:
+			// (start of bucket d) + (my rank within bucket d).
+			bucketStart := make([]int64, B)
+			var runTot int64
+			for d := 0; d < B; d++ {
+				bucketStart[d] = runTot
+				runTot += int64(total[d])
+			}
+			pos := make([]int64, B)
+			for d := 0; d < B; d++ {
+				pos[d] = bucketStart[d] + int64(rank[d])
+			}
+			p.Compute(3 * B)
+
+			if !buffered {
+				// Original: scatter keys straight to their global
+				// positions — fine-grained remote writes contending with
+				// the coherence protocol.
+				p.SetPhase("permute")
+				p.SetContention(scatteredFactor)
+				permutePass(p, cur, nxt, lo, np, pass, cfg, sc, pos,
+					readClass, machine.ConflictWrite)
+				p.SetContention(1)
+			} else {
+				// CC-SAS-NEW: local permutation into a private buffer
+				// (bucket-major), then contiguous chunk copies to the
+				// destinations.
+				buf := bufs[p.ID]
+				p.SetPhase("permute")
+				bpos := exclusiveScan(p, counts, 0)
+				permutePass(p, cur, buf, lo, np, pass, cfg, sc, bpos,
+					readClass, machine.Private)
+				p.SetPhase("transfer")
+				p.SetContention(bulkFactor)
+				var off int64
+				for d := 0; d < B; d++ {
+					cnt := int64(counts[d])
+					if cnt == 0 {
+						continue
+					}
+					buf.LoadRange(p, int(off), int(off+cnt), machine.Private)
+					g := pos[d]
+					copy(nxt.Data[g:g+cnt], buf.Data[off:off+cnt])
+					nxt.StoreRange(p, int(g), int(g+cnt), machine.ConflictWrite)
+					p.Compute(int(cnt))
+					off += cnt
+				}
+				p.SetContention(1)
+			}
+			p.SetPhase("sync")
+			world.Barrier(p)
+			p.SetPhase("")
+			cur, nxt = nxt, cur
+			readClass = machine.DirtyElsewhere
+		}
+	})
+
+	out := src
+	if cfg.Passes()%2 == 1 {
+		out = dst
+	}
+	sorted := make([]uint32, n)
+	copy(sorted, out.Data)
+	model := "ccsas"
+	if buffered {
+		model = "ccsas-new"
+	}
+	return &Result{Algorithm: "radix", Model: model, Sorted: sorted, Run: run}, nil
+}

@@ -1,0 +1,95 @@
+package sorts
+
+import (
+	"testing"
+
+	"repro/internal/keys"
+)
+
+func TestRadixCCSASSorts(t *testing.T) {
+	for _, procs := range []int{2, 4, 8} {
+		for _, buffered := range []bool{false, true} {
+			m := scaled(t, procs)
+			in := genKeys(t, keys.Gauss, 1<<14, procs, 8)
+			res, err := RadixCCSAS(m, in, Config{Radix: 8}, buffered)
+			if err != nil {
+				t.Fatalf("RadixCCSAS(p=%d, buffered=%v): %v", procs, buffered, err)
+			}
+			checkSorted(t, in, res)
+		}
+	}
+}
+
+func TestRadixCCSASAllDistributions(t *testing.T) {
+	for _, d := range keys.AllDists {
+		m := scaled(t, 4)
+		in := genKeys(t, d, 1<<13, 4, 8)
+		res, err := RadixCCSAS(m, in, Config{Radix: 8}, false)
+		if err != nil {
+			t.Fatalf("RadixCCSAS(%v): %v", d, err)
+		}
+		checkSorted(t, in, res)
+	}
+}
+
+func TestRadixCCSASOddPasses(t *testing.T) {
+	m := scaled(t, 4)
+	in := genKeys(t, keys.Random, 1<<13, 4, 11)
+	res, err := RadixCCSAS(m, in, Config{Radix: 11}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSorted(t, in, res)
+}
+
+func TestRadixCCSASDeterministic(t *testing.T) {
+	run := func(buffered bool) float64 {
+		m := scaled(t, 8)
+		in := genKeys(t, keys.Gauss, 1<<13, 8, 8)
+		res, err := RadixCCSAS(m, in, Config{Radix: 8}, buffered)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TimeNs()
+	}
+	for _, buffered := range []bool{false, true} {
+		if a, b := run(buffered), run(buffered); a != b {
+			t.Errorf("buffered=%v non-deterministic: %v vs %v", buffered, a, b)
+		}
+	}
+}
+
+func TestRadixCCSASBufferedBeatsOriginalAtScale(t *testing.T) {
+	// The paper's core CC-SAS finding: local buffering dramatically
+	// improves large-data-set radix sort by eliminating scattered remote
+	// writes (Figure 3, CC-SAS vs CC-SAS-NEW).
+	m1 := scaled(t, 8)
+	in := genKeys(t, keys.Gauss, 1<<17, 8, 8) // 512 KB of keys on 8 procs
+	orig, err := RadixCCSAS(m1, in, Config{Radix: 8}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := scaled(t, 8)
+	buf, err := RadixCCSAS(m2, in, Config{Radix: 8}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.TimeNs() >= orig.TimeNs() {
+		t.Errorf("buffered (%v ns) should beat original (%v ns) on large data",
+			buf.TimeNs(), orig.TimeNs())
+	}
+}
+
+func TestRadixCCSASRemoteTimeDominatesOriginal(t *testing.T) {
+	// Figure 4(a): MEM time dominates the original CC-SAS radix at scale.
+	m := scaled(t, 8)
+	in := genKeys(t, keys.Gauss, 1<<17, 8, 8)
+	res, err := RadixCCSAS(m, in, Config{Radix: 8}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd := res.Run.TotalBreakdown()
+	if bd.Mem() < bd.Busy {
+		t.Errorf("original CC-SAS at scale: MEM (%v) should dominate BUSY (%v)", bd.Mem(), bd.Busy)
+	}
+}

@@ -1,0 +1,190 @@
+package sorts
+
+import (
+	"fmt"
+
+	"repro/internal/ccsas"
+	"repro/internal/machine"
+)
+
+// SampleCCSAS runs the parallel sample sort under the cache-coherent
+// shared address space model, in the paper's five phases: local radix
+// sort, sample selection, group-based splitter selection (every set of
+// GroupSize processes elects a collector; collectors cooperate to pick
+// the p-1 splitters), splitter-directed redistribution using remote
+// READS (no remote writes, no scattered traffic), and a final local
+// radix sort of the received keys.
+func SampleCCSAS(m *machine.Machine, keysIn []uint32, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := len(keysIn)
+	P := m.Procs()
+	B := cfg.Buckets()
+	world := ccsas.NewWorld(m)
+
+	keyArr := machine.NewArrayBlocked[uint32](m, "scc.keys", n)
+	tmpArr := machine.NewArrayBlocked[uint32](m, "scc.tmp", n)
+	copy(keyArr.Data, keysIn)
+
+	sCount := cfg.SampleSize
+	if sCount > n/P {
+		sCount = max(1, n/P)
+	}
+	sampleArr := machine.NewArrayBlocked[uint32](m, "scc.samples", P*sCount)
+	groupSize := cfg.GroupSize
+	if groupSize > P {
+		groupSize = P
+	}
+	nGroups := (P + groupSize - 1) / groupSize
+	// Collectors publish their group's sorted samples here, grouped
+	// contiguously; the lead collector reads them all.
+	groupArr := machine.NewArrayBlocked[uint32](m, "scc.groups", P*sCount)
+	splitterArr := machine.NewArrayRoundRobin[uint32](m, "scc.splitters", max(1, P-1))
+	boundArr := machine.NewArrayBlocked[int64](m, "scc.bounds", P*(P+1))
+
+	scratch := make([]*localScratch, P)
+	recvArr := make([]*machine.Array[uint32], P)
+	tmp2Arr := make([]*machine.Array[uint32], P)
+	for i := 0; i < P; i++ {
+		scratch[i] = newLocalScratch(m, fmt.Sprintf("scc.h%d", i), B, i)
+		recvArr[i] = machine.NewArrayReserve[uint32](m, fmt.Sprintf("scc.recv%d", i), n, i)
+		tmp2Arr[i] = machine.NewArrayReserve[uint32](m, fmt.Sprintf("scc.t2%d", i), n, i)
+	}
+	m.ResetMemory()
+
+	finalCounts := make([]int, P)
+	finalArr := make([]*machine.Array[uint32], P)
+
+	run := m.Run(func(p *machine.Proc) {
+		me := p.ID
+		lo, hi := bounds(n, P, me)
+		np := hi - lo
+		sc := scratch[me]
+
+		p.SetPhase("localsort1")
+		// Phase 1: local sort of the assigned partition.
+		inTmp := localRadixSort(p, keyArr, tmpArr, lo, np, cfg, sc, machine.Private)
+		sortedArr := keyArr
+		if inTmp {
+			sortedArr = tmpArr
+		}
+		if P == 1 {
+			// A uniprocessor sample sort is just the local sort.
+			finalArr[0], finalCounts[0] = sortedArr, np
+			return
+		}
+
+		p.SetPhase("splitters")
+		// Phase 2: publish evenly spaced samples.
+		samples := selectSamples(p, sortedArr, lo, np, sCount)
+		copy(sampleArr.Data[me*sCount:(me+1)*sCount], samples)
+		sampleArr.StoreRange(p, me*sCount, me*sCount+len(samples), machine.Private)
+		world.Barrier(p)
+
+		// Phase 3: group collectors sort their group's samples; the lead
+		// collector merges group results and selects the splitters.
+		group := me / groupSize
+		if me%groupSize == 0 {
+			gLo := group * groupSize
+			gHi := min(gLo+groupSize, P)
+			pool := make([]uint32, 0, (gHi-gLo)*sCount)
+			for q := gLo; q < gHi; q++ {
+				sampleArr.LoadRange(p, q*sCount, (q+1)*sCount, machine.RemoteProduced)
+				pool = append(pool, sampleArr.Data[q*sCount:(q+1)*sCount]...)
+			}
+			mergeSamplesCharged(p, pool, gHi-gLo)
+			copy(groupArr.Data[gLo*sCount:gLo*sCount+len(pool)], pool)
+			groupArr.StoreRange(p, gLo*sCount, gLo*sCount+len(pool), machine.Private)
+		}
+		world.Barrier(p)
+		if me == 0 {
+			all := make([]uint32, 0, P*sCount)
+			for g := 0; g < nGroups; g++ {
+				gLo := g * groupSize
+				gHi := min(gLo+groupSize, P)
+				cnt := (gHi - gLo) * sCount
+				groupArr.LoadRange(p, gLo*sCount, gLo*sCount+cnt, machine.RemoteProduced)
+				all = append(all, groupArr.Data[gLo*sCount:gLo*sCount+cnt]...)
+			}
+			mergeSamplesCharged(p, all, nGroups)
+			spl := splittersFrom(p, all, P)
+			copy(splitterArr.Data, spl)
+			splitterArr.StoreRange(p, 0, len(spl), machine.Private)
+		}
+		world.Barrier(p)
+		splitterArr.LoadRange(p, 0, P-1, machine.SharedRead)
+		splitters := make([]uint32, P-1)
+		copy(splitters, splitterArr.Data[:P-1])
+		p.Compute(P)
+
+		p.SetPhase("redistribute")
+		// Phase 4: publish chunk boundaries, then pull incoming chunks
+		// from every source with remote reads.
+		b := boundariesOf(p, sortedArr, lo, np, splitters)
+		copy(boundArr.Data[me*(P+1):(me+1)*(P+1)], b)
+		boundArr.StoreRange(p, me*(P+1), (me+1)*(P+1), machine.Private)
+		world.Barrier(p)
+
+		incoming := 0
+		srcCnt := make([]int, P)
+		srcOff := make([]int, P)
+		for q := 0; q < P; q++ {
+			boundArr.LoadRange(p, q*(P+1)+me, q*(P+1)+me+2, machine.RemoteProduced)
+			bq := boundArr.Data[q*(P+1):]
+			srcOff[q] = int(bq[me])
+			srcCnt[q] = int(bq[me+1] - bq[me])
+			incoming += srcCnt[q]
+			p.Compute(3)
+		}
+		recv := recvArr[me].Grow(incoming)
+		bulk := p.ContentionFactor(P, false)
+		p.SetContention(bulk)
+		at := 0
+		for k := 0; k < P; k++ {
+			q := (me + k) % P
+			cnt := srcCnt[q]
+			if cnt == 0 {
+				continue
+			}
+			qLo, _ := bounds(n, P, q)
+			start := qLo + srcOff[q]
+			class := machine.RemoteProduced
+			if q == me {
+				class = machine.Private
+			}
+			sortedArr.LoadRange(p, start, start+cnt, class)
+			copy(recv.Data[at:at+cnt], sortedArr.Data[start:start+cnt])
+			recv.StoreRange(p, at, at+cnt, machine.Private)
+			p.Compute(cnt)
+			at += cnt
+		}
+		p.SetContention(1)
+
+		p.SetPhase("localsort2")
+		// Phase 5: local sort of the received keys.
+		tmp2 := tmp2Arr[me].Grow(incoming)
+		inTmp2 := localRadixSort(p, recv, tmp2, 0, incoming, cfg, sc, machine.Private)
+		if inTmp2 {
+			finalArr[me] = tmp2
+		} else {
+			finalArr[me] = recv
+		}
+		finalCounts[me] = incoming
+	})
+
+	sorted := gatherSortedSample(finalArr, finalCounts, n, P)
+	return &Result{Algorithm: "sample", Model: "ccsas", Sorted: sorted, Run: run}, nil
+}
+
+// gatherSortedSample concatenates per-processor outputs; for the
+// uniprocessor case the single "partition" is the whole sorted array.
+func gatherSortedSample(final []*machine.Array[uint32], counts []int, n, P int) []uint32 {
+	if P == 1 {
+		out := make([]uint32, n)
+		copy(out, final[0].Data[:n])
+		return out
+	}
+	return gatherSorted(final, counts)
+}

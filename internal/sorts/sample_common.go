@@ -1,0 +1,111 @@
+package sorts
+
+import (
+	"sort"
+
+	"repro/internal/machine"
+)
+
+// selectSamples picks count evenly spaced keys from the locally sorted
+// run arr.Data[lo:lo+n], charging the reads.
+func selectSamples(p *machine.Proc, arr *machine.Array[uint32], lo, n, count int) []uint32 {
+	if count > n {
+		count = n
+	}
+	out := make([]uint32, count)
+	for j := 0; j < count; j++ {
+		// Position (j+1)*n/(count+1): interior points, avoiding the ends.
+		i := lo + (j+1)*n/(count+1)
+		arr.Load(p, i, machine.Private)
+		out[j] = arr.Data[i]
+		p.Compute(3)
+	}
+	return out
+}
+
+// sortSamplesCharged sorts a host-side sample slice, charging the
+// comparison sort's work.
+func sortSamplesCharged(p *machine.Proc, s []uint32) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	n := len(s)
+	if n > 1 {
+		p.Compute(2 * n * ilog2(n))
+	}
+}
+
+// mergeSamplesCharged sorts a concatenation of `ways` already-sorted
+// runs, charging only a multiway merge (n log ways) — the samples each
+// process publishes are pre-sorted, so collectors merge rather than
+// re-sort.
+func mergeSamplesCharged(p *machine.Proc, s []uint32, ways int) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	n := len(s)
+	if n > 1 && ways > 1 {
+		p.Compute(2 * n * ilog2(ways))
+	}
+}
+
+// splittersFrom picks procs-1 splitters from the sorted pool of all
+// samples by regular sampling.
+func splittersFrom(p *machine.Proc, sortedAll []uint32, procs int) []uint32 {
+	spl := make([]uint32, procs-1)
+	for j := 1; j < procs; j++ {
+		spl[j-1] = sortedAll[j*len(sortedAll)/procs]
+	}
+	p.Compute(2 * procs)
+	return spl
+}
+
+// boundariesOf computes, for the locally sorted run arr.Data[lo:lo+n]
+// and the given splitters, the procs+1 boundary offsets (relative to lo):
+// keys [b[j], b[j+1]) go to destination j. Runs of keys equal to a
+// repeated splitter are spread evenly across the tied destinations
+// (equal keys may legally land on any of them), which keeps heavily
+// duplicated inputs — the paper's zero distribution — load balanced.
+func boundariesOf(p *machine.Proc, arr *machine.Array[uint32], lo, n int, splitters []uint32) []int64 {
+	procs := len(splitters) + 1
+	b := make([]int64, procs+1)
+	b[procs] = int64(n)
+	for j, s := range splitters {
+		// Binary search for the first key >= s.
+		idx := sort.Search(n, func(i int) bool { return arr.Data[lo+i] >= s })
+		b[j+1] = int64(idx)
+		p.Compute(2 * ilog2(n+1))
+	}
+	// Spread equal-splitter runs: consecutive splitters js..je sharing
+	// value v pin boundaries b[js+1..je+1] to the same spot, funnelling
+	// every key == v to one destination; slice that run across the tied
+	// destinations instead.
+	for js := 0; js < len(splitters); {
+		je := js
+		for je+1 < len(splitters) && splitters[je+1] == splitters[js] {
+			je++
+		}
+		if m := je - js + 1; m > 1 {
+			v := splitters[js]
+			lb := int(b[js+1])
+			ub := lb + sort.Search(n-lb, func(i int) bool { return arr.Data[lo+lb+i] > v })
+			if run := ub - lb; run > 0 {
+				for i := 0; i < m; i++ {
+					b[js+1+i] = int64(lb + i*run/m)
+				}
+				p.Compute(m + 2*ilog2(n+1))
+			}
+		}
+		js = je + 1
+	}
+	return b
+}
+
+// gatherSorted concatenates the per-processor final runs.
+func gatherSorted(final []*machine.Array[uint32], counts []int) []uint32 {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	out := make([]uint32, 0, total)
+	for i, arr := range final {
+		out = append(out, arr.Data[:counts[i]]...)
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+// Package sorts implements the paper's sorting programs on the simulated
+// DSM machine: a sequential radix sort (the speedup baseline, Table 1)
+// and parallel radix sort and sample sort under the CC-SAS (original and
+// locally-buffered "NEW"), MPI and SHMEM programming models.
+//
+// Every program operates on real data — results are bitwise-verifiable
+// sorted permutations of the input — while charging simulated time
+// through the machine layer, so the same run yields both a correctness
+// check and the paper's performance metrics.
+package sorts
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/mpi"
+	"repro/internal/shmem"
+)
+
+// Config parameterizes a sort.
+type Config struct {
+	// Radix is the digit size r in bits. The paper studies 6..12 (and up
+	// to 14 in Table 3).
+	Radix int
+	// KeyBits is the significant key width; keys are < 2^31 as in the
+	// paper.
+	KeyBits int
+	// SampleSize is sample sort's per-processor sample count (128 in the
+	// paper).
+	SampleSize int
+	// GroupSize is sample sort CC-SAS's processes-per-group for sample
+	// collection (32 in the paper).
+	GroupSize int
+	// MPI configures the message-passing library for the MPI variants.
+	MPI mpi.Config
+	// MPIOneMessagePerDest switches the radix MPI permutation to the
+	// NAS-IS style: one message per destination carrying all its chunks,
+	// reorganized into place by the receiver. The paper measured both and
+	// found per-chunk messages faster on the Origin2000; this variant
+	// exists for that ablation.
+	MPIOneMessagePerDest bool
+	// Shmem configures the one-sided library for the SHMEM variants.
+	Shmem shmem.Config
+}
+
+// DefaultConfig returns the paper's defaults: radix 8, 31-bit keys, 128
+// samples per processor, groups of 32, the improved (Direct/NEW) MPI.
+func DefaultConfig() Config {
+	return Config{
+		Radix:      8,
+		KeyBits:    31,
+		SampleSize: 128,
+		GroupSize:  32,
+		MPI:        mpi.DefaultDirect(),
+		Shmem:      shmem.DefaultConfig(),
+	}
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Radix == 0 {
+		c.Radix = d.Radix
+	}
+	if c.KeyBits == 0 {
+		c.KeyBits = d.KeyBits
+	}
+	if c.SampleSize == 0 {
+		c.SampleSize = d.SampleSize
+	}
+	if c.GroupSize == 0 {
+		c.GroupSize = d.GroupSize
+	}
+	if c.MPI == (mpi.Config{}) {
+		c.MPI = d.MPI
+	}
+	if c.Shmem == (shmem.Config{}) {
+		c.Shmem = d.Shmem
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Radix < 1 || c.Radix > 16 {
+		return fmt.Errorf("sorts: radix %d out of [1,16]", c.Radix)
+	}
+	if c.KeyBits < 1 || c.KeyBits > 32 {
+		return fmt.Errorf("sorts: key bits %d out of [1,32]", c.KeyBits)
+	}
+	if c.SampleSize < 1 {
+		return fmt.Errorf("sorts: sample size %d must be positive", c.SampleSize)
+	}
+	if c.GroupSize < 1 {
+		return fmt.Errorf("sorts: group size %d must be positive", c.GroupSize)
+	}
+	return nil
+}
+
+// Passes returns the number of radix passes: ceil(KeyBits / Radix), the
+// paper's 32/r with 31-bit keys.
+func (c Config) Passes() int {
+	return (c.KeyBits + c.Radix - 1) / c.Radix
+}
+
+// Buckets returns 2^Radix.
+func (c Config) Buckets() int { return 1 << c.Radix }
+
+// digit extracts the pass-th radix-r digit of k.
+func digit(k uint32, pass, r int) int {
+	return int(k>>(pass*r)) & ((1 << r) - 1)
+}
+
+// Result reports one sort run.
+type Result struct {
+	// Algorithm is "radix" or "sample"; Model names the programming model
+	// variant.
+	Algorithm, Model string
+	// Sorted is the output permutation (ascending).
+	Sorted []uint32
+	// Run carries the simulated timing and per-processor stats.
+	Run *machine.Result
+}
+
+// TimeNs returns the simulated execution time.
+func (r *Result) TimeNs() float64 { return r.Run.TimeNs }
+
+// bounds returns the [lo,hi) range of chunk i when n items are split
+// into k chunks (identical partitioning everywhere in the package).
+func bounds(n, k, i int) (lo, hi int) {
+	return i * n / k, (i + 1) * n / k
+}
+
+// ilog2 returns ceil(log2(n)) for n >= 1.
+func ilog2(n int) int {
+	k := 0
+	for 1<<k < n {
+		k++
+	}
+	return k
+}

@@ -1,0 +1,175 @@
+// Package topology models the interconnect of an SGI Origin2000-class
+// CC-NUMA machine: processors grouped into nodes, nodes paired onto
+// routers, and routers wired as a binary hypercube.
+//
+// The package is purely combinatorial and deterministic. It answers
+// questions such as "how many router hops separate processor 12's node
+// from the home node of this page?" and converts hop counts into
+// uncontended latencies using the machine's latency parameters.
+package topology
+
+import "fmt"
+
+// Config describes the physical organization of the machine.
+type Config struct {
+	// Processors is the total processor count. It must be a positive
+	// multiple of ProcsPerNode.
+	Processors int
+	// ProcsPerNode is the number of processors sharing a node (and its
+	// memory). The Origin2000 packages 2 processors per node.
+	ProcsPerNode int
+	// NodesPerRouter is the number of nodes attached to one router.
+	// The Origin2000 attaches each pair of nodes to a router.
+	NodesPerRouter int
+
+	// LocalLatency is the uncontended latency of a read satisfied by the
+	// local node's memory (nanoseconds). 313 ns on the Origin2000.
+	LocalLatency float64
+	// HopLatency is the additional latency per router hop (nanoseconds).
+	// About 100 ns on the Origin2000.
+	HopLatency float64
+	// RemoteBaseLatency is the uncontended latency of a read satisfied by
+	// a remote node reached through zero intervening router hops beyond
+	// the first router (nanoseconds). Calibrated so that the average and
+	// furthest remote latencies land near the Origin2000's published
+	// 796 ns and 1010 ns.
+	RemoteBaseLatency float64
+	// LinkBandwidth is the peak point-to-point bandwidth between nodes in
+	// bytes per nanosecond (1.6 GB/s total both directions on the
+	// Origin2000, i.e. 0.8 GB/s per direction = 0.8 bytes/ns).
+	LinkBandwidth float64
+}
+
+// Topology is an immutable view of the machine's interconnect.
+type Topology struct {
+	cfg       Config
+	nodes     int
+	routers   int
+	dimension int // hypercube dimension over routers
+}
+
+// New validates cfg and builds the topology.
+func New(cfg Config) (*Topology, error) {
+	if cfg.Processors <= 0 {
+		return nil, fmt.Errorf("topology: processors must be positive, got %d", cfg.Processors)
+	}
+	if cfg.ProcsPerNode <= 0 {
+		return nil, fmt.Errorf("topology: procs per node must be positive, got %d", cfg.ProcsPerNode)
+	}
+	if cfg.NodesPerRouter <= 0 {
+		return nil, fmt.Errorf("topology: nodes per router must be positive, got %d", cfg.NodesPerRouter)
+	}
+	if cfg.Processors%cfg.ProcsPerNode != 0 {
+		return nil, fmt.Errorf("topology: processors (%d) not a multiple of procs per node (%d)",
+			cfg.Processors, cfg.ProcsPerNode)
+	}
+	nodes := cfg.Processors / cfg.ProcsPerNode
+	routers := (nodes + cfg.NodesPerRouter - 1) / cfg.NodesPerRouter
+	dim := 0
+	for 1<<dim < routers {
+		dim++
+	}
+	if 1<<dim != routers {
+		return nil, fmt.Errorf("topology: router count %d is not a power of two", routers)
+	}
+	return &Topology{cfg: cfg, nodes: nodes, routers: routers, dimension: dim}, nil
+}
+
+// MustNew is New but panics on configuration errors. It is intended for
+// the package-level machine presets, whose parameters are static.
+func MustNew(cfg Config) *Topology {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Config returns the configuration the topology was built from.
+func (t *Topology) Config() Config { return t.cfg }
+
+// Processors returns the total processor count.
+func (t *Topology) Processors() int { return t.cfg.Processors }
+
+// Nodes returns the number of memory nodes.
+func (t *Topology) Nodes() int { return t.nodes }
+
+// Routers returns the number of routers.
+func (t *Topology) Routers() int { return t.routers }
+
+// Dimension returns the hypercube dimension across routers.
+func (t *Topology) Dimension() int { return t.dimension }
+
+// NodeOf returns the node housing processor p.
+func (t *Topology) NodeOf(p int) int {
+	if p < 0 || p >= t.cfg.Processors {
+		panic(fmt.Sprintf("topology: processor %d out of range [0,%d)", p, t.cfg.Processors))
+	}
+	return p / t.cfg.ProcsPerNode
+}
+
+// RouterOf returns the router to which node n attaches.
+func (t *Topology) RouterOf(n int) int {
+	if n < 0 || n >= t.nodes {
+		panic(fmt.Sprintf("topology: node %d out of range [0,%d)", n, t.nodes))
+	}
+	return n / t.cfg.NodesPerRouter
+}
+
+// Hops returns the number of router-to-router hops between the routers of
+// nodes a and b. Two nodes on the same router are 0 hops apart; on a
+// hypercube the hop count is the Hamming distance between router ids.
+func (t *Topology) Hops(a, b int) int {
+	ra, rb := t.RouterOf(a), t.RouterOf(b)
+	x := uint(ra ^ rb)
+	hops := 0
+	for x != 0 {
+		hops += int(x & 1)
+		x >>= 1
+	}
+	return hops
+}
+
+// ReadLatency returns the uncontended latency (ns) for a processor on
+// node from to read the first word of a line homed on node to.
+func (t *Topology) ReadLatency(from, to int) float64 {
+	if from == to {
+		return t.cfg.LocalLatency
+	}
+	return t.cfg.RemoteBaseLatency + t.cfg.HopLatency*float64(t.Hops(from, to))
+}
+
+// MaxHops returns the largest hop count between any two nodes, i.e. the
+// hypercube dimension.
+func (t *Topology) MaxHops() int { return t.dimension }
+
+// FurthestReadLatency returns the uncontended latency to the furthest
+// remote memory.
+func (t *Topology) FurthestReadLatency() float64 {
+	if t.nodes == 1 {
+		return t.cfg.LocalLatency
+	}
+	return t.cfg.RemoteBaseLatency + t.cfg.HopLatency*float64(t.dimension)
+}
+
+// AverageReadLatency returns the mean uncontended read latency over all
+// (local and remote) destinations from node 0 — the figure the Origin2000
+// documentation quotes as the "average of local and all remote memories".
+// By hypercube symmetry the average is the same from every node.
+func (t *Topology) AverageReadLatency() float64 {
+	sum := 0.0
+	for n := 0; n < t.nodes; n++ {
+		sum += t.ReadLatency(0, n)
+	}
+	return sum / float64(t.nodes)
+}
+
+// TransferTime returns the time (ns) to stream size bytes across one
+// link at peak bandwidth. Latency is not included; callers add the
+// appropriate per-transaction latency separately.
+func (t *Topology) TransferTime(size int) float64 {
+	if size <= 0 {
+		return 0
+	}
+	return float64(size) / t.cfg.LinkBandwidth
+}

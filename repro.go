@@ -1,0 +1,289 @@
+// Package repro is a reproduction of "Parallel Sorting on Cache-coherent
+// DSM Multiprocessors" (Shan & Singh, SC 1999): parallel radix sort and
+// sample sort under the CC-SAS, MPI and SHMEM programming models,
+// executed on a deterministic simulator of an SGI Origin2000-class
+// CC-NUMA machine.
+//
+// The public API has two layers:
+//
+//   - Run executes one Experiment (algorithm × model × size × processors
+//     × radix × key distribution) and returns a verified, timed Outcome.
+//
+//   - Harness drives the paper's full evaluation: Table1 through Table3
+//     and Figure1 through Figure10 regenerate the same rows and series
+//     the paper reports (on the scaled machine by default; see DESIGN.md
+//     for the scaling argument).
+package repro
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/keys"
+	"repro/internal/machine"
+	"repro/internal/mpi"
+	"repro/internal/shmem"
+	"repro/internal/sorts"
+)
+
+// Algorithm selects the sorting algorithm.
+type Algorithm string
+
+const (
+	// Radix is the parallel radix sort.
+	Radix Algorithm = "radix"
+	// Sample is the parallel sample sort.
+	Sample Algorithm = "sample"
+)
+
+// Model selects the programming model / implementation variant.
+type Model string
+
+const (
+	// Seq is the sequential baseline (radix only).
+	Seq Model = "seq"
+	// CCSAS is the load-store shared-address-space program (for radix,
+	// the original SPLASH-2 scattered-write version).
+	CCSAS Model = "ccsas"
+	// CCSASNew is the paper's improved, locally-buffered CC-SAS radix.
+	CCSASNew Model = "ccsas-new"
+	// MPI is message passing with the authors' direct-copy library (NEW).
+	MPI Model = "mpi"
+	// MPISGI is message passing with the vendor-style staged-copy
+	// library.
+	MPISGI Model = "mpi-sgi"
+	// SHMEM is the one-sided put/get model.
+	SHMEM Model = "shmem"
+)
+
+// Models lists the parallel models applicable to each algorithm.
+func Models(a Algorithm) []Model {
+	if a == Radix {
+		return []Model{CCSAS, CCSASNew, MPI, MPISGI, SHMEM}
+	}
+	return []Model{CCSAS, MPI, MPISGI, SHMEM}
+}
+
+// ParseModel resolves a model name.
+func ParseModel(s string) (Model, error) {
+	for _, m := range []Model{Seq, CCSAS, CCSASNew, MPI, MPISGI, SHMEM} {
+		if strings.EqualFold(s, string(m)) {
+			return m, nil
+		}
+	}
+	return "", fmt.Errorf("repro: unknown model %q", s)
+}
+
+// ParseAlgorithm resolves an algorithm name.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	for _, a := range []Algorithm{Radix, Sample} {
+		if strings.EqualFold(s, string(a)) {
+			return a, nil
+		}
+	}
+	return "", fmt.Errorf("repro: unknown algorithm %q", s)
+}
+
+// SizeClass maps a paper data-set label to its key counts: the paper's
+// count and the scaled count used on the scaled machine (÷64, matching
+// the cache scaled ÷64; every capacity crossover lands in the same place
+// relative to the cache).
+type SizeClass struct {
+	Label   string
+	PaperN  int
+	ScaledN int
+}
+
+// SizeClasses are the paper's five data-set sizes. Scaled counts divide
+// by machine.ScaleFactor (16), matching the scaled machine's cache.
+var SizeClasses = []SizeClass{
+	{"1M", 1 << 20, 1 << 16},
+	{"4M", 1 << 22, 1 << 18},
+	{"16M", 1 << 24, 1 << 20},
+	{"64M", 1 << 26, 1 << 22},
+	{"256M", 1 << 28, 1 << 24},
+}
+
+// SizeByLabel returns the size class with the given label.
+func SizeByLabel(label string) (SizeClass, error) {
+	for _, s := range SizeClasses {
+		if strings.EqualFold(s.Label, label) {
+			return s, nil
+		}
+	}
+	return SizeClass{}, fmt.Errorf("repro: unknown size class %q", label)
+}
+
+// Experiment specifies one sorting run.
+type Experiment struct {
+	Algorithm Algorithm
+	Model     Model
+	// N is the key count (use SizeClasses for paper-comparable sizes).
+	N int
+	// Procs is the processor count (power of two; 16/32/64 in the paper).
+	Procs int
+	// Radix is the digit size in bits (default 8).
+	Radix int
+	// Dist is the key distribution (default Gauss).
+	Dist keys.Dist
+	// Seed perturbs key generation.
+	Seed uint64
+	// FullSize runs on the unscaled Origin2000 machine parameters.
+	FullSize bool
+	// MPIBufDepth overrides the per-pair window depth (0 = default) for
+	// the buffer-depth ablation.
+	MPIBufDepth int
+	// MPIOneMessagePerDest selects the NAS-IS-style radix MPI permutation
+	// (one message per destination, receiver reorganizes) instead of the
+	// paper's per-chunk messages.
+	MPIOneMessagePerDest bool
+	// Ablation flags (see DESIGN.md §4).
+	FlatMemory   bool
+	NoContention bool
+}
+
+// MachineConfigFor returns the machine configuration the harness uses
+// for an experiment: the scaled Origin2000 by default, with the paper's
+// page-size policy (the authors used 64 KB pages up to 64M keys and
+// 256 KB pages at 256M; scaled, that is 1 KB up to the 64M class and
+// 4 KB for the 256M class).
+func MachineConfigFor(e Experiment) machine.Config {
+	if e.FullSize {
+		cfg := machine.Origin2000(e.Procs)
+		cfg.TLB.PageSize = 64 << 10
+		if e.N >= SizeClasses[4].PaperN {
+			cfg.TLB.PageSize = 256 << 10
+		}
+		cfg.FlatMemory = e.FlatMemory
+		cfg.NoContention = e.NoContention
+		return cfg
+	}
+	cfg := machine.Origin2000Scaled(e.Procs)
+	cfg.TLB.PageSize = (64 << 10) / machine.ScaleFactor
+	if e.N >= SizeClasses[4].ScaledN {
+		cfg.TLB.PageSize = (256 << 10) / machine.ScaleFactor
+	}
+	cfg.FlatMemory = e.FlatMemory
+	cfg.NoContention = e.NoContention
+	return cfg
+}
+
+// Outcome is one executed experiment.
+type Outcome struct {
+	Experiment Experiment
+	// Result carries the sorted output and per-processor stats.
+	Result *sorts.Result
+	// TimeNs is the simulated execution time.
+	TimeNs float64
+	// Verified is true when the output was checked to be an ascending
+	// permutation of the input.
+	Verified bool
+}
+
+// Breakdowns returns the per-processor BUSY/LMEM/RMEM/SYNC split.
+func (o *Outcome) Breakdowns() []machine.Breakdown {
+	out := make([]machine.Breakdown, len(o.Result.Run.PerProc))
+	for i, ps := range o.Result.Run.PerProc {
+		out[i] = ps.Breakdown
+	}
+	return out
+}
+
+// Run executes one experiment: generates the keys, builds the machine,
+// runs the selected program, and verifies the output.
+func Run(e Experiment) (*Outcome, error) {
+	if e.Radix == 0 {
+		e.Radix = 8
+	}
+	if e.N <= 0 {
+		return nil, fmt.Errorf("repro: N must be positive, got %d", e.N)
+	}
+	if e.Procs <= 0 {
+		return nil, fmt.Errorf("repro: Procs must be positive, got %d", e.Procs)
+	}
+	in, err := keys.Generate(e.Dist, keys.GenConfig{
+		N: e.N, Procs: e.Procs, RadixBits: e.Radix, Seed: e.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m, err := machine.New(MachineConfigFor(e))
+	if err != nil {
+		return nil, err
+	}
+	cfg := sorts.Config{Radix: e.Radix}
+	switch e.Model {
+	case MPISGI:
+		cfg.MPI = mpi.DefaultStaged()
+	default:
+		cfg.MPI = mpi.DefaultDirect()
+	}
+	cfg.Shmem = shmem.DefaultConfig()
+	if !e.FullSize {
+		// Fixed software costs scale with the machine (DESIGN.md §1).
+		cfg.MPI = cfg.MPI.Scaled(float64(machine.ScaleFactor))
+		cfg.Shmem = cfg.Shmem.Scaled(float64(machine.ScaleFactor))
+	}
+	if e.MPIBufDepth > 0 {
+		cfg.MPI.BufDepth = e.MPIBufDepth
+	}
+	cfg.MPIOneMessagePerDest = e.MPIOneMessagePerDest
+
+	var res *sorts.Result
+	switch {
+	case e.Model == Seq:
+		if e.Procs != 1 {
+			return nil, fmt.Errorf("repro: the sequential baseline needs Procs=1, got %d", e.Procs)
+		}
+		res, err = sorts.SeqRadix(m, in, cfg)
+	case e.Algorithm == Radix && e.Model == CCSAS:
+		res, err = sorts.RadixCCSAS(m, in, cfg, false)
+	case e.Algorithm == Radix && e.Model == CCSASNew:
+		res, err = sorts.RadixCCSAS(m, in, cfg, true)
+	case e.Algorithm == Radix && (e.Model == MPI || e.Model == MPISGI):
+		res, err = sorts.RadixMPI(m, in, cfg)
+	case e.Algorithm == Radix && e.Model == SHMEM:
+		res, err = sorts.RadixSHMEM(m, in, cfg)
+	case e.Algorithm == Sample && e.Model == CCSAS:
+		res, err = sorts.SampleCCSAS(m, in, cfg)
+	case e.Algorithm == Sample && (e.Model == MPI || e.Model == MPISGI):
+		res, err = sorts.SampleMPI(m, in, cfg)
+	case e.Algorithm == Sample && e.Model == SHMEM:
+		res, err = sorts.SampleSHMEM(m, in, cfg)
+	default:
+		return nil, fmt.Errorf("repro: no program for algorithm %q under model %q", e.Algorithm, e.Model)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := verifySorted(in, res.Sorted); err != nil {
+		return nil, fmt.Errorf("repro: %s/%s output invalid: %w", e.Algorithm, e.Model, err)
+	}
+	return &Outcome{Experiment: e, Result: res, TimeNs: res.TimeNs(), Verified: true}, nil
+}
+
+// verifySorted checks out is an ascending permutation of in, in O(n)
+// using a counting comparison over 16-bit halves.
+func verifySorted(in, out []uint32) error {
+	if len(in) != len(out) {
+		return fmt.Errorf("length %d, want %d", len(out), len(in))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i-1] > out[i] {
+			return fmt.Errorf("not ascending at index %d: %d > %d", i, out[i-1], out[i])
+		}
+	}
+	// Permutation check: XOR/sum fingerprints over the multiset.
+	var sumIn, sumOut uint64
+	var xorIn, xorOut uint32
+	for i := range in {
+		sumIn += uint64(in[i])
+		xorIn ^= in[i] * 2654435761
+		sumOut += uint64(out[i])
+		xorOut ^= out[i] * 2654435761
+	}
+	if sumIn != sumOut || xorIn != xorOut {
+		return fmt.Errorf("output is not a permutation of the input")
+	}
+	return nil
+}

@@ -1,0 +1,300 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/keys"
+)
+
+// run is a test helper executing one experiment.
+func runExp(t *testing.T, e Experiment) *Outcome {
+	t.Helper()
+	out, err := Run(e)
+	if err != nil {
+		t.Fatalf("Run(%+v): %v", e, err)
+	}
+	if !out.Verified {
+		t.Fatalf("Run(%+v): unverified outcome", e)
+	}
+	return out
+}
+
+func TestRunAllCombinations(t *testing.T) {
+	// Every algorithm × model pair executes and verifies on a small size.
+	for _, alg := range []Algorithm{Radix, Sample} {
+		for _, mo := range Models(alg) {
+			out := runExp(t, Experiment{
+				Algorithm: alg, Model: mo, N: 1 << 13, Procs: 8, Radix: 8,
+			})
+			if out.TimeNs <= 0 {
+				t.Errorf("%s/%s: no simulated time", alg, mo)
+			}
+		}
+	}
+}
+
+func TestRunSequentialBaseline(t *testing.T) {
+	out := runExp(t, Experiment{Algorithm: Radix, Model: Seq, N: 1 << 13, Procs: 1})
+	if out.TimeNs <= 0 {
+		t.Error("baseline has no time")
+	}
+	if _, err := Run(Experiment{Algorithm: Radix, Model: Seq, N: 1 << 13, Procs: 8}); err == nil {
+		t.Error("sequential baseline with 8 procs accepted")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	bad := []Experiment{
+		{Algorithm: Radix, Model: SHMEM, N: 0, Procs: 8},
+		{Algorithm: Radix, Model: SHMEM, N: 100, Procs: 0},
+		{Algorithm: "bogus", Model: SHMEM, N: 100, Procs: 8},
+		{Algorithm: Sample, Model: CCSASNew, N: 100, Procs: 8}, // no buffered sample variant
+	}
+	for _, e := range bad {
+		if _, err := Run(e); err == nil {
+			t.Errorf("accepted invalid experiment %+v", e)
+		}
+	}
+}
+
+func TestParseHelpers(t *testing.T) {
+	if a, err := ParseAlgorithm("RADIX"); err != nil || a != Radix {
+		t.Errorf("ParseAlgorithm: %v %v", a, err)
+	}
+	if _, err := ParseAlgorithm("quick"); err == nil {
+		t.Error("accepted unknown algorithm")
+	}
+	if m, err := ParseModel("ccsas-new"); err != nil || m != CCSASNew {
+		t.Errorf("ParseModel: %v %v", m, err)
+	}
+	if _, err := ParseModel("pthread"); err == nil {
+		t.Error("accepted unknown model")
+	}
+	if s, err := SizeByLabel("64m"); err != nil || s.Label != "64M" {
+		t.Errorf("SizeByLabel: %v %v", s, err)
+	}
+	if _, err := SizeByLabel("2G"); err == nil {
+		t.Error("accepted unknown size")
+	}
+}
+
+func TestSizeClassScaling(t *testing.T) {
+	for _, s := range SizeClasses {
+		if s.PaperN/s.ScaledN != 16 {
+			t.Errorf("%s: paper/scaled = %d, want the machine scale factor 16",
+				s.Label, s.PaperN/s.ScaledN)
+		}
+	}
+}
+
+func TestMachineConfigPageSizePolicy(t *testing.T) {
+	small := MachineConfigFor(Experiment{N: SizeClasses[0].ScaledN, Procs: 16})
+	big := MachineConfigFor(Experiment{N: SizeClasses[4].ScaledN, Procs: 16})
+	if small.TLB.PageSize >= big.TLB.PageSize {
+		t.Errorf("page sizes: small %d, big %d: the 256M class uses larger pages",
+			small.TLB.PageSize, big.TLB.PageSize)
+	}
+	fullSmall := MachineConfigFor(Experiment{N: SizeClasses[0].PaperN, Procs: 16, FullSize: true})
+	if fullSmall.TLB.PageSize != 64<<10 {
+		t.Errorf("full-size page = %d, want 64K", fullSmall.TLB.PageSize)
+	}
+}
+
+func TestDeterministicOutcomes(t *testing.T) {
+	e := Experiment{Algorithm: Radix, Model: SHMEM, N: 1 << 13, Procs: 8, Radix: 8}
+	a := runExp(t, e)
+	b := runExp(t, e)
+	if a.TimeNs != b.TimeNs {
+		t.Errorf("non-deterministic: %v vs %v", a.TimeNs, b.TimeNs)
+	}
+}
+
+func TestSeedChangesKeysNotValidity(t *testing.T) {
+	a := runExp(t, Experiment{Algorithm: Radix, Model: SHMEM, N: 1 << 13, Procs: 8, Seed: 1})
+	b := runExp(t, Experiment{Algorithm: Radix, Model: SHMEM, N: 1 << 13, Procs: 8, Seed: 2})
+	if a.TimeNs == b.TimeNs {
+		t.Log("different seeds produced identical times (possible but unlikely)")
+	}
+}
+
+// --- shape assertions: the paper's headline findings at test-scale ---
+
+func TestShapeCCSASNewBeatsOriginalAtScale(t *testing.T) {
+	size := SizeClasses[2] // 16M class
+	orig := runExp(t, Experiment{Algorithm: Radix, Model: CCSAS, N: size.ScaledN, Procs: 16})
+	buf := runExp(t, Experiment{Algorithm: Radix, Model: CCSASNew, N: size.ScaledN, Procs: 16})
+	shm := runExp(t, Experiment{Algorithm: Radix, Model: SHMEM, N: size.ScaledN, Procs: 16})
+	if !(shm.TimeNs < buf.TimeNs && buf.TimeNs < orig.TimeNs) {
+		t.Errorf("want SHMEM (%v) < CC-SAS-NEW (%v) < CC-SAS (%v) at the 16M class",
+			shm.TimeNs, buf.TimeNs, orig.TimeNs)
+	}
+}
+
+func TestShapeOriginalCCSASWinsSmallest(t *testing.T) {
+	// Paper Figure 3 / Table 3: plain CC-SAS is the best radix model for
+	// the 1M class on larger processor counts, and CC-SAS-NEW is inferior
+	// to the original there.
+	size := SizeClasses[0]
+	orig := runExp(t, Experiment{Algorithm: Radix, Model: CCSAS, N: size.ScaledN, Procs: 32})
+	buf := runExp(t, Experiment{Algorithm: Radix, Model: CCSASNew, N: size.ScaledN, Procs: 32})
+	shm := runExp(t, Experiment{Algorithm: Radix, Model: SHMEM, N: size.ScaledN, Procs: 32})
+	if orig.TimeNs >= shm.TimeNs {
+		t.Errorf("1M class: CC-SAS (%v) should beat SHMEM (%v)", orig.TimeNs, shm.TimeNs)
+	}
+	if orig.TimeNs >= buf.TimeNs {
+		t.Errorf("1M class: original CC-SAS (%v) should beat CC-SAS-NEW (%v)", orig.TimeNs, buf.TimeNs)
+	}
+}
+
+func TestShapeStagedVsDirectMPI(t *testing.T) {
+	size := SizeClasses[1]
+	direct := runExp(t, Experiment{Algorithm: Radix, Model: MPI, N: size.ScaledN, Procs: 16})
+	staged := runExp(t, Experiment{Algorithm: Radix, Model: MPISGI, N: size.ScaledN, Procs: 16})
+	if staged.TimeNs <= direct.TimeNs {
+		t.Errorf("staged MPI (%v) should be slower than direct (%v)", staged.TimeNs, direct.TimeNs)
+	}
+	// The gap is smaller for sample sort (one communication phase).
+	dS := runExp(t, Experiment{Algorithm: Sample, Model: MPI, N: size.ScaledN, Procs: 16})
+	sS := runExp(t, Experiment{Algorithm: Sample, Model: MPISGI, N: size.ScaledN, Procs: 16})
+	radixGap := staged.TimeNs / direct.TimeNs
+	sampleGap := sS.TimeNs / dS.TimeNs
+	if sampleGap >= radixGap {
+		t.Errorf("sample engine gap (%v) should be smaller than radix gap (%v)", sampleGap, radixGap)
+	}
+}
+
+func TestShapeSampleVsRadixCrossover(t *testing.T) {
+	// Sample sort wins below ~64K keys per processor (scaled: 4K), radix
+	// above (paper §4.4). Compare best-of-models at the 1M class (1K
+	// keys/proc at 64P... use 16P: 4K/proc boundary; use the 64M class for
+	// the radix side: 256K/proc at 16P).
+	small := SizeClasses[0]
+	// As in the paper's §4.4, each algorithm competes at its own best
+	// combination of model and radix size.
+	bestOf := func(alg Algorithm, n, procs int) float64 {
+		best := -1.0
+		for _, mo := range Models(alg) {
+			if mo == MPISGI {
+				continue
+			}
+			for _, r := range []int{8, 11} {
+				out := runExp(t, Experiment{Algorithm: alg, Model: mo, N: n, Procs: procs, Radix: r})
+				if best < 0 || out.TimeNs < best {
+					best = out.TimeNs
+				}
+			}
+		}
+		return best
+	}
+	// 1M class on 32 procs: 2K keys/proc — sample territory (paper
+	// Table 2: sample wins 1M at 32P and 64P; the scaled machine
+	// compresses the margin, see EXPERIMENTS.md).
+	radixSmall := bestOf(Radix, small.ScaledN, 32)
+	sampleSmall := bestOf(Sample, small.ScaledN, 32)
+	if sampleSmall >= radixSmall {
+		t.Errorf("2K keys/proc: sample (%v) should beat radix (%v)", sampleSmall, radixSmall)
+	}
+	// 16M class on 16 procs: 64K keys/proc — radix territory.
+	big := SizeClasses[2]
+	radixBig := bestOf(Radix, big.ScaledN, 16)
+	sampleBig := bestOf(Sample, big.ScaledN, 16)
+	if radixBig >= sampleBig {
+		t.Errorf("64K keys/proc: radix (%v) should beat sample (%v)", radixBig, sampleBig)
+	}
+}
+
+func TestShapeLocalDistributionFastest(t *testing.T) {
+	size := SizeClasses[1]
+	gauss := runExp(t, Experiment{Algorithm: Radix, Model: SHMEM, N: size.ScaledN, Procs: 16, Dist: keys.Gauss})
+	local := runExp(t, Experiment{Algorithm: Radix, Model: SHMEM, N: size.ScaledN, Procs: 16, Dist: keys.Local})
+	if local.TimeNs >= gauss.TimeNs {
+		t.Errorf("local distribution (%v) should beat gauss (%v)", local.TimeNs, gauss.TimeNs)
+	}
+}
+
+func TestShapeSuperlinearSpeedupAtScale(t *testing.T) {
+	// Cache+TLB capacity effects make large-data-set speedups superlinear
+	// (paper §4.2). 64M class on 16 processors exceeds per-proc caches.
+	size := SizeClasses[3]
+	base := runExp(t, Experiment{Algorithm: Radix, Model: Seq, N: size.ScaledN, Procs: 1})
+	par := runExp(t, Experiment{Algorithm: Radix, Model: SHMEM, N: size.ScaledN, Procs: 64})
+	speedup := base.TimeNs / par.TimeNs
+	if speedup <= 64 {
+		t.Errorf("64M class on 64P: speedup %v, want superlinear (> 64)", speedup)
+	}
+}
+
+func TestAblationFlatMemoryRemovesModelGap(t *testing.T) {
+	// With flat memory, the CC-SAS scattered-write penalty largely
+	// disappears: the gap to SHMEM shrinks dramatically.
+	size := SizeClasses[1]
+	ccReal := runExp(t, Experiment{Algorithm: Radix, Model: CCSAS, N: size.ScaledN, Procs: 16})
+	shmReal := runExp(t, Experiment{Algorithm: Radix, Model: SHMEM, N: size.ScaledN, Procs: 16})
+	ccFlat := runExp(t, Experiment{Algorithm: Radix, Model: CCSAS, N: size.ScaledN, Procs: 16, FlatMemory: true})
+	shmFlat := runExp(t, Experiment{Algorithm: Radix, Model: SHMEM, N: size.ScaledN, Procs: 16, FlatMemory: true})
+	realGap := ccReal.TimeNs / shmReal.TimeNs
+	flatGap := ccFlat.TimeNs / shmFlat.TimeNs
+	if flatGap >= realGap {
+		t.Errorf("flat-memory ablation: gap %v should shrink below the real gap %v", flatGap, realGap)
+	}
+}
+
+func TestAblationNoContention(t *testing.T) {
+	size := SizeClasses[2]
+	withC := runExp(t, Experiment{Algorithm: Radix, Model: CCSAS, N: size.ScaledN, Procs: 16})
+	without := runExp(t, Experiment{Algorithm: Radix, Model: CCSAS, N: size.ScaledN, Procs: 16, NoContention: true})
+	if without.TimeNs >= withC.TimeNs {
+		t.Errorf("no-contention ablation (%v) should be faster than contended (%v)",
+			without.TimeNs, withC.TimeNs)
+	}
+}
+
+func TestAblationMPIBufferDepth(t *testing.T) {
+	// Deeper per-pair windows reduce the sender stalls (paper §4.2:
+	// "using deeper buffers alleviates the problem").
+	size := SizeClasses[1]
+	shallow := runExp(t, Experiment{Algorithm: Radix, Model: MPI, N: size.ScaledN, Procs: 16, MPIBufDepth: 1})
+	deep := runExp(t, Experiment{Algorithm: Radix, Model: MPI, N: size.ScaledN, Procs: 16, MPIBufDepth: 32})
+	if deep.TimeNs > shallow.TimeNs {
+		t.Errorf("deep windows (%v) should not be slower than 1-deep (%v)",
+			deep.TimeNs, shallow.TimeNs)
+	}
+}
+
+func TestFullSizeMachineSmoke(t *testing.T) {
+	// The unscaled Origin2000 parameters drive the same programs.
+	out := runExp(t, Experiment{
+		Algorithm: Radix, Model: SHMEM, N: 1 << 16, Procs: 8, FullSize: true,
+	})
+	cfg := MachineConfigFor(out.Experiment)
+	if cfg.Cache.Size != 4<<20 {
+		t.Errorf("full-size cache = %d", cfg.Cache.Size)
+	}
+	// 64K keys on 8 full-size caches: everything fits, so remote traffic
+	// is modest and LMem low.
+	if out.TimeNs <= 0 {
+		t.Error("no time")
+	}
+}
+
+func TestPhaseBreakdownsExposedThroughOutcome(t *testing.T) {
+	out := runExp(t, Experiment{Algorithm: Radix, Model: SHMEM, N: 1 << 14, Procs: 8})
+	ps := out.Result.Run.PerProc[0]
+	if len(ps.Phases) == 0 {
+		t.Fatal("no phases recorded")
+	}
+	for _, name := range []string{"count", "permute", "transfer"} {
+		if _, ok := ps.Phases[name]; !ok {
+			t.Errorf("missing phase %q", name)
+		}
+	}
+}
+
+func TestOneMessagePerDestExperiment(t *testing.T) {
+	out := runExp(t, Experiment{
+		Algorithm: Radix, Model: MPI, N: 1 << 14, Procs: 8, MPIOneMessagePerDest: true,
+	})
+	if out.Result.Model != "mpi-NEW-onemsg" {
+		t.Errorf("model label = %q", out.Result.Model)
+	}
+}
