@@ -9,12 +9,17 @@ package repro
 // output doubles as a compact record of the reproduced numbers.
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/keys"
 )
 
-// benchOpts returns the reduced grid used by the benchmarks.
+// benchOpts returns the reduced grid used by the benchmarks. The
+// harness defaults to Parallelism = GOMAXPROCS, so these measure the
+// concurrent scheduler; the *Serial variants below pin Parallelism to 1
+// for a wall-clock comparison (simulated metrics are identical by
+// construction).
 func benchOpts() Options {
 	return Options{
 		Procs:      []int{16},
@@ -130,6 +135,29 @@ func BenchmarkTable2And3(b *testing.B) {
 		cell := bt.Best[Radix][bt.Sizes[0]][16]
 		b.ReportMetric(cell.TimeNs/1e6, "bestMs/radix-1M-16P")
 	}
+}
+
+// benchGridAtParallelism regenerates Figure 3's grid at a fixed
+// scheduler width; the pair of benchmarks below records the concurrent
+// scheduler's host-time win in benchmark output.
+func benchGridAtParallelism(b *testing.B, par int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		opts := benchOpts()
+		opts.Parallelism = par
+		h := NewHarness(opts)
+		f, err := h.Figure3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(f.Get("SHMEM", f.Sizes[len(f.Sizes)-1], 16), "speedup/SHMEM")
+	}
+}
+
+func BenchmarkGridSchedulerSerial(b *testing.B) { benchGridAtParallelism(b, 1) }
+
+func BenchmarkGridSchedulerParallel(b *testing.B) {
+	benchGridAtParallelism(b, runtime.GOMAXPROCS(0))
 }
 
 // BenchmarkSingleSorts times each algorithm/model pair directly (the

@@ -5,35 +5,144 @@
 // Usage:
 //
 //	paperfigs [-exp all|table1|fig1|...|table23] [-sizes 1M,4M,16M]
-//	          [-procs 16,32,64] [-seed N] [-v]
+//	          [-procs 16,32,64] [-seed N] [-j N] [-benchjson] [-v]
 //
 // By default every experiment runs on the scaled machine over all five
 // size classes; use -sizes to restrict (the 64M/256M classes take
 // minutes of host time on a small machine).
+//
+// Experiment cells run concurrently on -j worker goroutines (default
+// GOMAXPROCS). The simulator's virtual time is independent of host
+// scheduling and results are gathered in deterministic cell order, so
+// stdout is byte-identical at any -j; only wall-clock changes.
+//
+// -benchjson additionally writes per-figure wall-clock and
+// simulated-time metrics to BENCH_paperfigs.json (override the path with
+// -benchout) so the performance trajectory is machine-readable.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro"
 )
 
+// figureRun is one regenerable experiment: run returns the printable
+// output blocks (each printed with one trailing newline, like the serial
+// driver always did).
+type figureRun struct {
+	name string
+	run  func(h *repro.Harness) ([]string, error)
+}
+
+// runners lists every experiment in the order -exp all prints them.
+var runners = []figureRun{
+	{"table1", func(h *repro.Harness) ([]string, error) {
+		t, _, err := h.Table1()
+		if err != nil {
+			return nil, err
+		}
+		return []string{t.String()}, nil
+	}},
+	{"fig1", speedupRunner((*repro.Harness).Figure1)},
+	{"fig2", speedupRunner((*repro.Harness).Figure2)},
+	{"fig3", speedupRunner((*repro.Harness).Figure3)},
+	{"fig7", speedupRunner((*repro.Harness).Figure7)},
+	{"fig4", breakdownRunner((*repro.Harness).Figure4)},
+	{"fig8", breakdownRunner((*repro.Harness).Figure8)},
+	{"fig5", relativeRunner((*repro.Harness).Figure5)},
+	{"fig6", relativeRunner((*repro.Harness).Figure6)},
+	{"fig9", relativeRunner((*repro.Harness).Figure9)},
+	{"fig10", relativeRunner((*repro.Harness).Figure10)},
+	{"table23", func(h *repro.Harness) ([]string, error) {
+		bt, err := h.Tables23()
+		if err != nil {
+			return nil, err
+		}
+		return []string{bt.Table2().String(), bt.Table3().String()}, nil
+	}},
+}
+
+func speedupRunner(fn func(*repro.Harness) (*repro.SpeedupFigure, error)) func(*repro.Harness) ([]string, error) {
+	return func(h *repro.Harness) ([]string, error) {
+		f, err := fn(h)
+		if err != nil {
+			return nil, err
+		}
+		return []string{f.Table().String()}, nil
+	}
+}
+
+func breakdownRunner(fn func(*repro.Harness) (*repro.BreakdownFigure, error)) func(*repro.Harness) ([]string, error) {
+	return func(h *repro.Harness) ([]string, error) {
+		f, err := fn(h)
+		if err != nil {
+			return nil, err
+		}
+		return []string{f.Chart()}, nil
+	}
+}
+
+func relativeRunner(fn func(*repro.Harness) (*repro.RelativeFigure, error)) func(*repro.Harness) ([]string, error) {
+	return func(h *repro.Harness) ([]string, error) {
+		f, err := fn(h)
+		if err != nil {
+			return nil, err
+		}
+		return []string{f.Table().String()}, nil
+	}
+}
+
+// benchEntry is one figure's metrics in the -benchjson report.
+type benchEntry struct {
+	Name   string  `json:"name"`
+	WallMs float64 `json:"wall_ms"`
+	Runs   int     `json:"runs"`
+	SimMs  float64 `json:"sim_ms"`
+}
+
+// benchReport is the BENCH_paperfigs.json schema (documented in README).
+type benchReport struct {
+	Parallelism int          `json:"parallelism"`
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	Seed        uint64       `json:"seed"`
+	Figures     []benchEntry `json:"figures"`
+	TotalWallMs float64      `json:"total_wall_ms"`
+	TotalRuns   int          `json:"total_runs"`
+	TotalSimMs  float64      `json:"total_sim_ms"`
+}
+
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all, table1, fig1..fig10, table23")
-		sizes   = flag.String("sizes", "", "comma-separated size classes (1M,4M,16M,64M,256M); default all")
-		procs   = flag.String("procs", "", "comma-separated processor counts; default 16,32,64")
-		radixes = flag.String("radixes", "", "comma-separated radix sweep for fig6/fig10; default 6..12")
-		seed    = flag.Uint64("seed", 0, "key generation seed")
-		verbose = flag.Bool("v", false, "print one line per completed run")
+		exp       = flag.String("exp", "all", "experiment: all, table1, fig1..fig10, table23")
+		sizes     = flag.String("sizes", "", "comma-separated size classes (1M,4M,16M,64M,256M); default all")
+		procs     = flag.String("procs", "", "comma-separated processor counts; default 16,32,64")
+		radixes   = flag.String("radixes", "", "comma-separated radix sweep for fig6/fig10; default 6..12")
+		seed      = flag.Uint64("seed", 0, "key generation seed")
+		par       = flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent experiment runs (>= 1)")
+		benchjson = flag.Bool("benchjson", false, "write per-figure wall-clock/simulated metrics to -benchout")
+		benchout  = flag.String("benchout", "BENCH_paperfigs.json", "output path for -benchjson")
+		verbose   = flag.Bool("v", false, "print one line per completed run")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fatal(fmt.Errorf("unexpected arguments: %v", flag.Args()))
+	}
+	if *par < 1 {
+		fatal(fmt.Errorf("-j must be >= 1, got %d", *par))
+	}
+	if !validExp(*exp) {
+		fatal(fmt.Errorf("unknown experiment %q (want all, table1, fig1..fig10, or table23)", *exp))
+	}
 
-	opts := repro.Options{Seed: *seed}
+	opts := repro.Options{Seed: *seed, Parallelism: *par}
 	if *sizes != "" {
 		for _, s := range strings.Split(*sizes, ",") {
 			sc, err := repro.SizeByLabel(strings.TrimSpace(s))
@@ -44,10 +153,10 @@ func main() {
 		}
 	}
 	if *procs != "" {
-		opts.Procs = parseInts(*procs)
+		opts.Procs = parseInts("-procs", *procs)
 	}
 	if *radixes != "" {
-		opts.RadixSweep = parseInts(*radixes)
+		opts.RadixSweep = parseInts("-radixes", *radixes)
 	}
 	if *verbose {
 		opts.Progress = func(format string, args ...any) {
@@ -56,88 +165,71 @@ func main() {
 	}
 	h := repro.NewHarness(opts)
 
-	want := func(name string) bool { return *exp == "all" || *exp == name }
-	ran := false
-
-	if want("table1") {
-		ran = true
-		t, _, err := h.Table1()
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(t)
-	}
-	speedups := []struct {
-		name string
-		fn   func() (*repro.SpeedupFigure, error)
-	}{
-		{"fig1", h.Figure1}, {"fig2", h.Figure2}, {"fig3", h.Figure3}, {"fig7", h.Figure7},
-	}
-	for _, s := range speedups {
-		if !want(s.name) {
+	rep := benchReport{Parallelism: *par, GOMAXPROCS: runtime.GOMAXPROCS(0), Seed: *seed}
+	for _, r := range runners {
+		if *exp != "all" && *exp != r.name {
 			continue
 		}
-		ran = true
-		f, err := s.fn()
+		before := h.Stats()
+		start := time.Now()
+		blocks, err := r.run(h)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Println(f.Table())
-	}
-	breakdowns := []struct {
-		name string
-		fn   func() (*repro.BreakdownFigure, error)
-	}{
-		{"fig4", h.Figure4}, {"fig8", h.Figure8},
-	}
-	for _, s := range breakdowns {
-		if !want(s.name) {
-			continue
+		wall := time.Since(start)
+		after := h.Stats()
+		for _, b := range blocks {
+			fmt.Println(b)
 		}
-		ran = true
-		f, err := s.fn()
+		rep.Figures = append(rep.Figures, benchEntry{
+			Name:   r.name,
+			WallMs: float64(wall.Nanoseconds()) / 1e6,
+			Runs:   after.Runs - before.Runs,
+			SimMs:  (after.SimNs - before.SimNs) / 1e6,
+		})
+	}
+	for _, e := range rep.Figures {
+		rep.TotalWallMs += e.WallMs
+		rep.TotalRuns += e.Runs
+		rep.TotalSimMs += e.SimMs
+	}
+	if *benchjson {
+		buf, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Println(f.Chart())
-	}
-	relatives := []struct {
-		name string
-		fn   func() (*repro.RelativeFigure, error)
-	}{
-		{"fig5", h.Figure5}, {"fig6", h.Figure6}, {"fig9", h.Figure9}, {"fig10", h.Figure10},
-	}
-	for _, s := range relatives {
-		if !want(s.name) {
-			continue
-		}
-		ran = true
-		f, err := s.fn()
-		if err != nil {
+		if err := os.WriteFile(*benchout, append(buf, '\n'), 0o644); err != nil {
 			fatal(err)
 		}
-		fmt.Println(f.Table())
-	}
-	if want("table23") {
-		ran = true
-		bt, err := h.Tables23()
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(bt.Table2())
-		fmt.Println(bt.Table3())
-	}
-	if !ran {
-		fatal(fmt.Errorf("unknown experiment %q", *exp))
+		fmt.Fprintf(os.Stderr, "paperfigs: wrote %s (%d runs, %.0f ms wall, -j %d)\n",
+			*benchout, rep.TotalRuns, rep.TotalWallMs, *par)
 	}
 }
 
-func parseInts(s string) []int {
+// validExp reports whether name selects at least one runner.
+func validExp(name string) bool {
+	if name == "all" {
+		return true
+	}
+	for _, r := range runners {
+		if r.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// parseInts parses a comma-separated list of positive ints, exiting
+// non-zero on malformed or non-positive values.
+func parseInts(flagName, s string) []int {
 	var out []int
 	for _, part := range strings.Split(s, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil {
-			fatal(err)
+			fatal(fmt.Errorf("%s: %v", flagName, err))
+		}
+		if v < 1 {
+			fatal(fmt.Errorf("%s: values must be >= 1, got %d", flagName, v))
 		}
 		out = append(out, v)
 	}

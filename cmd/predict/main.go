@@ -5,13 +5,18 @@
 //
 // Usage:
 //
-//	predict -n 1048576 -procs 16 -radix 8 [-full] [-validate]
+//	predict -n 1048576 -procs 16 -radix 8 [-full] [-validate] [-j N]
+//
+// With -validate, the per-model simulator runs are independent and run
+// concurrently on -j workers (default GOMAXPROCS); reported numbers are
+// identical at any -j.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 
 	"repro"
@@ -29,8 +34,24 @@ func main() {
 		radix    = flag.Int("radix", 8, "radix size in bits")
 		full     = flag.Bool("full", false, "use the full-size Origin2000 parameters")
 		validate = flag.Bool("validate", false, "also run the simulator and report prediction error")
+		par      = flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulator runs for -validate (>= 1)")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fatal(fmt.Errorf("unexpected arguments: %v", flag.Args()))
+	}
+	if *par < 1 {
+		fatal(fmt.Errorf("-j must be >= 1, got %d", *par))
+	}
+	if *n < 1 {
+		fatal(fmt.Errorf("-n must be >= 1, got %d", *n))
+	}
+	if *procs < 1 {
+		fatal(fmt.Errorf("-procs must be >= 1, got %d", *procs))
+	}
+	if *radix < 1 || *radix > 24 {
+		fatal(fmt.Errorf("-radix must be in [1, 24], got %d", *radix))
+	}
 
 	var cfg machine.Config
 	mpiCfg := mpi.DefaultDirect()
@@ -51,6 +72,26 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if len(ranked) == 0 {
+		fatal(fmt.Errorf("the performance model returned no predictions"))
+	}
+
+	// With -validate, run every predicted model through the simulator
+	// concurrently before rendering.
+	var sims []*repro.Outcome
+	if *validate {
+		exps := make([]repro.Experiment, len(ranked))
+		for i, p := range ranked {
+			exps[i] = repro.Experiment{
+				Algorithm: repro.Radix, Model: repro.Model(p.Model),
+				N: *n, Procs: *procs, Radix: *radix, FullSize: *full,
+			}
+		}
+		sims, err = repro.RunAll(*par, exps)
+		if err != nil {
+			fatal(err)
+		}
+	}
 
 	t := &report.Table{
 		Title:  fmt.Sprintf("Predicted radix sort times: n=%d procs=%d radix=%d", *n, *procs, *radix),
@@ -62,13 +103,7 @@ func main() {
 	for i, p := range ranked {
 		row := []string{fmt.Sprintf("%d", i+1), string(p.Model), report.Ms(p.TimeNs)}
 		if *validate {
-			out, err := repro.Run(repro.Experiment{
-				Algorithm: repro.Radix, Model: repro.Model(p.Model),
-				N: *n, Procs: *procs, Radix: *radix, FullSize: *full,
-			})
-			if err != nil {
-				fatal(err)
-			}
+			out := sims[i]
 			row = append(row, report.Ms(out.TimeNs), report.F(p.TimeNs/out.TimeNs))
 		}
 		t.AddRow(row...)

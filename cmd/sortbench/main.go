@@ -30,6 +30,9 @@ func main() {
 		perproc = flag.Bool("perproc", false, "print the per-processor breakdown")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fatal(fmt.Errorf("unexpected arguments: %v", flag.Args()))
+	}
 
 	a, err := repro.ParseAlgorithm(*algo)
 	if err != nil {

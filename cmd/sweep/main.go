@@ -7,12 +7,17 @@
 //
 //	sweep -kind radix|bufdepth|flatmem|nocontention
 //	      [-algo radix] [-model shmem] [-n N] [-procs P] [-dist gauss]
+//	      [-j N]
+//
+// Sweep points are independent deterministic simulations; -j runs them
+// concurrently (default GOMAXPROCS) without changing any reported number.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro"
 	"repro/internal/keys"
@@ -28,8 +33,21 @@ func main() {
 		procs = flag.Int("procs", 16, "processor count")
 		dist  = flag.String("dist", "gauss", "key distribution")
 		seed  = flag.Uint64("seed", 0, "seed")
+		par   = flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent experiment runs (>= 1)")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fatal(fmt.Errorf("unexpected arguments: %v", flag.Args()))
+	}
+	if *par < 1 {
+		fatal(fmt.Errorf("-j must be >= 1, got %d", *par))
+	}
+	if *n < 1 {
+		fatal(fmt.Errorf("-n must be >= 1, got %d", *n))
+	}
+	if *procs < 1 {
+		fatal(fmt.Errorf("-procs must be >= 1, got %d", *procs))
+	}
 
 	a, err := repro.ParseAlgorithm(*algo)
 	if err != nil {
@@ -49,74 +67,90 @@ func main() {
 
 	switch *kind {
 	case "radix":
+		radixes := []int{6, 7, 8, 9, 10, 11, 12}
+		exps := make([]repro.Experiment, len(radixes))
+		for i, r := range radixes {
+			exps[i] = base
+			exps[i].Radix = r
+		}
+		outs, err := repro.RunAll(*par, exps)
+		if err != nil {
+			fatal(err)
+		}
+		ref := 0.0
+		for i, r := range radixes {
+			if r == 8 {
+				ref = outs[i].TimeNs
+			}
+		}
 		t := &report.Table{
 			Title:  fmt.Sprintf("Radix-size sweep: %s/%s n=%d procs=%d", a, m, *n, *procs),
 			Header: []string{"radix", "passes", "time", "vs r=8"},
 		}
-		ref := 0.0
-		for _, r := range []int{6, 7, 8, 9, 10, 11, 12} {
-			e := base
-			e.Radix = r
-			out, err := repro.Run(e)
-			if err != nil {
-				fatal(err)
-			}
-			if r == 8 {
-				ref = out.TimeNs
-			}
+		for i, r := range radixes {
 			t.AddRow(fmt.Sprintf("%d", r), fmt.Sprintf("%d", (31+r-1)/r),
-				report.Ms(out.TimeNs), report.F(out.TimeNs/refOr(ref, out.TimeNs)))
+				report.Ms(outs[i].TimeNs), report.F(outs[i].TimeNs/ref))
 		}
 		fmt.Println(t)
 
 	case "bufdepth":
 		// The paper §4.2: deeper per-pair buffers alleviate MPI's SYNC
 		// stalls but do not eliminate them (and cost O(p^2) memory).
-		e := base
-		e.Model = repro.MPI
+		depths := []int{1, 2, 4, 16, 64}
+		exps := make([]repro.Experiment, len(depths))
+		for i, depth := range depths {
+			exps[i] = base
+			exps[i].Model = repro.MPI
+			exps[i].MPIBufDepth = depth
+		}
+		outs, err := repro.RunAll(*par, exps)
+		if err != nil {
+			fatal(err)
+		}
 		t := &report.Table{
 			Title:  fmt.Sprintf("MPI window-depth ablation: %s n=%d procs=%d", a, *n, *procs),
 			Header: []string{"depth", "time", "sum SYNC (ms)"},
 		}
-		for _, depth := range []int{1, 2, 4, 16, 64} {
-			e.MPIBufDepth = depth
-			out, err := repro.Run(e)
-			if err != nil {
-				fatal(err)
-			}
+		for i, depth := range depths {
 			var sync float64
-			for _, b := range out.Breakdowns() {
+			for _, b := range outs[i].Breakdowns() {
 				sync += b.Sync
 			}
-			t.AddRow(fmt.Sprintf("%d", depth), report.Ms(out.TimeNs), report.F(sync/1e6))
+			t.AddRow(fmt.Sprintf("%d", depth), report.Ms(outs[i].TimeNs), report.F(sync/1e6))
 		}
 		fmt.Println(t)
 
 	case "flatmem", "nocontention":
-		t := &report.Table{
-			Title: fmt.Sprintf("%s ablation: %s n=%d procs=%d (all radix models)",
-				*kind, a, *n, *procs),
-			Header: []string{"model", "real", "ablated", "speedup lost"},
-		}
+		var models []repro.Model
 		for _, mo := range repro.Models(a) {
-			if mo == repro.MPISGI {
-				continue
+			if mo != repro.MPISGI {
+				models = append(models, mo)
 			}
+		}
+		// Two cells per model: real then ablated.
+		exps := make([]repro.Experiment, 0, 2*len(models))
+		for _, mo := range models {
 			e := base
 			e.Model = mo
-			real, err := repro.Run(e)
-			if err != nil {
-				fatal(err)
-			}
+			exps = append(exps, e)
 			if *kind == "flatmem" {
 				e.FlatMemory = true
 			} else {
 				e.NoContention = true
 			}
-			abl, err := repro.Run(e)
-			if err != nil {
-				fatal(err)
-			}
+			exps = append(exps, e)
+		}
+		outs, err := repro.RunAll(*par, exps)
+		if err != nil {
+			fatal(err)
+		}
+		t := &report.Table{
+			Title: fmt.Sprintf("%s ablation: %s n=%d procs=%d (all radix models)",
+				*kind, a, *n, *procs),
+			Header: []string{"model", "real", "ablated", "speedup lost"},
+		}
+		for i, mo := range models {
+			real, abl := outs[2*i], outs[2*i+1]
 			t.AddRow(string(mo), report.Ms(real.TimeNs), report.Ms(abl.TimeNs),
 				report.F(real.TimeNs/abl.TimeNs))
 		}
@@ -125,13 +159,6 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown sweep kind %q", *kind))
 	}
-}
-
-func refOr(ref, v float64) float64 {
-	if ref > 0 {
-		return ref
-	}
-	return v
 }
 
 func fatal(err error) {

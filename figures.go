@@ -2,6 +2,8 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/keys"
 	"repro/internal/machine"
@@ -25,7 +27,15 @@ type Options struct {
 	TableRadixes []int
 	// FullSize runs on unscaled Origin2000 parameters.
 	FullSize bool
-	// Progress, when set, receives one line per completed run.
+	// Parallelism bounds how many experiment cells the harness runs
+	// concurrently (default runtime.GOMAXPROCS(0)). Results are always
+	// gathered in deterministic cell order and the simulator's virtual
+	// time is independent of host scheduling, so tables and figures are
+	// byte-identical at any setting; only wall-clock changes.
+	Parallelism int
+	// Progress, when set, receives one line per completed run. Calls are
+	// serialized (never concurrent), but under Parallelism > 1 the order
+	// of lines follows completion order, not submission order.
 	Progress func(format string, args ...any)
 }
 
@@ -42,6 +52,9 @@ func (o Options) withDefaults() Options {
 	if len(o.TableRadixes) == 0 {
 		o.TableRadixes = []int{8, 11, 12}
 	}
+	if o.Parallelism < 1 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
 	if o.Progress == nil {
 		o.Progress = func(string, ...any) {}
 	}
@@ -50,9 +63,28 @@ func (o Options) withDefaults() Options {
 
 // Harness regenerates the paper's tables and figures. It caches the
 // sequential baselines speedups are measured against.
+//
+// A Harness is safe for concurrent use: its figure/table drivers run
+// their experiment grids on a worker pool of opts.Parallelism goroutines
+// (see runGrid), the baseline cache is singleflight-guarded, and the
+// Progress callback is serialized. Everything else an experiment touches
+// (Machine, caches, key slices) is built per Run and shared with nothing.
 type Harness struct {
-	opts     Options
-	baseline map[baselineKey]float64
+	opts Options
+
+	// mu guards baseline. Each entry is a singleflight slot: the map
+	// lookup is cheap under mu, the expensive sequential run happens in
+	// the entry's once — one goroutine computes it, others wait on the
+	// same entry without duplicating the run.
+	mu       sync.Mutex
+	baseline map[baselineKey]*baselineEntry
+
+	// progMu serializes the user's Progress callback.
+	progMu sync.Mutex
+
+	// statMu guards stats.
+	statMu sync.Mutex
+	stats  HarnessStats
 }
 
 type baselineKey struct {
@@ -62,9 +94,50 @@ type baselineKey struct {
 	seed  uint64
 }
 
+// baselineEntry is one singleflight slot of the baseline cache.
+type baselineEntry struct {
+	once   sync.Once
+	timeNs float64
+	err    error
+}
+
+// HarnessStats counts the work a harness has executed so far.
+type HarnessStats struct {
+	// Runs is the number of completed experiment runs, including cached
+	// sequential baselines (each baseline counts once, however many
+	// drivers consume it).
+	Runs int
+	// SimNs is the total simulated virtual time across those runs.
+	SimNs float64
+}
+
+// Stats returns a snapshot of the harness's work counters. Diffing two
+// snapshots around a figure driver yields that figure's run count and
+// simulated time (cmd/paperfigs -benchjson does exactly this).
+func (h *Harness) Stats() HarnessStats {
+	h.statMu.Lock()
+	defer h.statMu.Unlock()
+	return h.stats
+}
+
+// note records one completed run in the stats counters.
+func (h *Harness) note(simNs float64) {
+	h.statMu.Lock()
+	h.stats.Runs++
+	h.stats.SimNs += simNs
+	h.statMu.Unlock()
+}
+
+// progress emits one serialized Progress line.
+func (h *Harness) progress(format string, args ...any) {
+	h.progMu.Lock()
+	defer h.progMu.Unlock()
+	h.opts.Progress(format, args...)
+}
+
 // NewHarness builds a harness.
 func NewHarness(opts Options) *Harness {
-	return &Harness{opts: opts.withDefaults(), baseline: make(map[baselineKey]float64)}
+	return &Harness{opts: opts.withDefaults(), baseline: make(map[baselineKey]*baselineEntry)}
 }
 
 // sizeN returns the key count used for a size class.
@@ -78,21 +151,33 @@ func (h *Harness) sizeN(s SizeClass) int {
 // BaselineTime returns (computing and caching on first use) the
 // sequential radix sort time for n keys of the given distribution — the
 // paper measures every speedup against this same baseline (radix 8).
+//
+// BaselineTime is safe for concurrent use and singleflight-deduplicated:
+// when several grid cells need the same baseline at once, exactly one
+// goroutine runs the sequential experiment and the rest wait for it.
 func (h *Harness) BaselineTime(n int, dist keys.Dist) (float64, error) {
 	k := baselineKey{n: n, dist: dist, radix: 8, seed: h.opts.Seed}
-	if t, ok := h.baseline[k]; ok {
-		return t, nil
+	h.mu.Lock()
+	e, ok := h.baseline[k]
+	if !ok {
+		e = &baselineEntry{}
+		h.baseline[k] = e
 	}
-	out, err := Run(Experiment{
-		Algorithm: Radix, Model: Seq, N: n, Procs: 1, Radix: 8,
-		Dist: dist, Seed: h.opts.Seed, FullSize: h.opts.FullSize,
+	h.mu.Unlock()
+	e.once.Do(func() {
+		out, err := Run(Experiment{
+			Algorithm: Radix, Model: Seq, N: n, Procs: 1, Radix: 8,
+			Dist: dist, Seed: h.opts.Seed, FullSize: h.opts.FullSize,
+		})
+		if err != nil {
+			e.err = err
+			return
+		}
+		h.note(out.TimeNs)
+		h.progress("baseline n=%d dist=%v: %s", n, dist, report.Ms(out.TimeNs))
+		e.timeNs = out.TimeNs
 	})
-	if err != nil {
-		return 0, err
-	}
-	h.opts.Progress("baseline n=%d dist=%v: %s", n, dist, report.Ms(out.TimeNs))
-	h.baseline[k] = out.TimeNs
-	return out.TimeNs, nil
+	return e.timeNs, e.err
 }
 
 // run executes one experiment with harness-wide settings folded in.
@@ -103,7 +188,8 @@ func (h *Harness) run(e Experiment) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	h.opts.Progress("%-6s %-9s n=%-8d p=%-2d r=%-2d %-7v  %s",
+	h.note(out.TimeNs)
+	h.progress("%-6s %-9s n=%-8d p=%-2d r=%-2d %-7v  %s",
 		e.Algorithm, e.Model, e.N, e.Procs, e.Radix, e.Dist, report.Ms(out.TimeNs))
 	return out, nil
 }
@@ -157,22 +243,29 @@ func (h *Harness) speedupFigure(title string, alg Algorithm,
 		f.Variants = append(f.Variants, v.Label)
 		f.Speedup[v.Label] = make(map[string]float64)
 	}
+	var cells []gridCell
 	for _, s := range h.opts.Sizes {
 		f.Sizes = append(f.Sizes, s.Label)
 		n := h.sizeN(s)
-		base, err := h.BaselineTime(n, keys.Gauss)
-		if err != nil {
-			return nil, err
-		}
+		cells = append(cells, baselineCell(n, keys.Gauss))
 		for _, p := range h.opts.Procs {
 			for _, v := range variants {
-				out, err := h.run(Experiment{
+				cells = append(cells, expCell(Experiment{
 					Algorithm: alg, Model: v.Model, N: n, Procs: p, Radix: 8, Dist: keys.Gauss,
-				})
-				if err != nil {
-					return nil, err
-				}
-				f.Speedup[v.Label][gridKey(s.Label, p)] = base / out.TimeNs
+				}))
+			}
+		}
+	}
+	res, err := h.runGrid(cells)
+	if err != nil {
+		return nil, err
+	}
+	cur := &gridCursor{res: res}
+	for _, s := range h.opts.Sizes {
+		base := cur.take().base
+		for _, p := range h.opts.Procs {
+			for _, v := range variants {
+				f.Speedup[v.Label][gridKey(s.Label, p)] = base / cur.take().out.TimeNs
 			}
 		}
 	}
@@ -186,15 +279,19 @@ func (h *Harness) Table1() (*report.Table, []float64, error) {
 		Title:  "Table 1: sequential radix sort time, Gauss keys (simulated)",
 		Header: []string{"size", "keys", "time"},
 	}
-	var times []float64
+	var cells []gridCell
 	for _, s := range h.opts.Sizes {
-		n := h.sizeN(s)
-		base, err := h.BaselineTime(n, keys.Gauss)
-		if err != nil {
-			return nil, nil, err
-		}
+		cells = append(cells, baselineCell(h.sizeN(s), keys.Gauss))
+	}
+	res, err := h.runGrid(cells)
+	if err != nil {
+		return nil, nil, err
+	}
+	var times []float64
+	for i, s := range h.opts.Sizes {
+		base := res[i].base
 		times = append(times, base)
-		t.AddRow(s.Label, fmt.Sprintf("%d", n), report.Ms(base))
+		t.AddRow(s.Label, fmt.Sprintf("%d", h.sizeN(s)), report.Ms(base))
 	}
 	return t, times, nil
 }
@@ -286,14 +383,18 @@ func (h *Harness) breakdownFigure(title string, alg Algorithm, models []Model) (
 	}
 	procs := h.opts.Procs[len(h.opts.Procs)-1]
 	f := &BreakdownFigure{Title: title}
+	var cells []gridCell
 	for _, mo := range models {
-		out, err := h.run(Experiment{
+		cells = append(cells, expCell(Experiment{
 			Algorithm: alg, Model: mo, N: h.sizeN(size), Procs: procs, Radix: 8, Dist: keys.Gauss,
-		})
-		if err != nil {
-			return nil, err
-		}
-		f.Panels = append(f.Panels, BreakdownPanel{Name: string(mo), PerProc: out.Breakdowns()})
+		}))
+	}
+	res, err := h.runGrid(cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, mo := range models {
+		f.Panels = append(f.Panels, BreakdownPanel{Name: string(mo), PerProc: res[i].out.Breakdowns()})
 	}
 	return f, nil
 }
@@ -352,21 +453,29 @@ func (h *Harness) distFigure(title string, alg Algorithm, model Model) (*Relativ
 		f.Variants = append(f.Variants, d.String())
 		f.Relative[d.String()] = make(map[string]float64)
 	}
+	var cells []gridCell
 	for _, s := range h.opts.Sizes {
 		f.Sizes = append(f.Sizes, s.Label)
 		n := h.sizeN(s)
+		for _, d := range keys.AllDists {
+			cells = append(cells, expCell(Experiment{
+				Algorithm: alg, Model: model, N: n, Procs: procs, Radix: 8, Dist: d,
+			}))
+		}
+	}
+	res, err := h.runGrid(cells)
+	if err != nil {
+		return nil, err
+	}
+	cur := &gridCursor{res: res}
+	for _, s := range h.opts.Sizes {
 		ref := 0.0
 		for _, d := range keys.AllDists {
-			out, err := h.run(Experiment{
-				Algorithm: alg, Model: model, N: n, Procs: procs, Radix: 8, Dist: d,
-			})
-			if err != nil {
-				return nil, err
-			}
+			t := cur.take().out.TimeNs
 			if d == keys.Gauss {
-				ref = out.TimeNs
+				ref = t
 			}
-			f.Relative[d.String()][s.Label] = out.TimeNs
+			f.Relative[d.String()][s.Label] = t
 		}
 		for _, d := range keys.AllDists {
 			f.Relative[d.String()][s.Label] /= ref
@@ -402,18 +511,25 @@ func (h *Harness) radixFigure(title string, alg Algorithm, model Model) (*Relati
 		f.Variants = append(f.Variants, name)
 		f.Relative[name] = make(map[string]float64)
 	}
+	var cells []gridCell
 	for _, s := range h.opts.Sizes {
 		f.Sizes = append(f.Sizes, s.Label)
 		n := h.sizeN(s)
+		for _, r := range h.opts.RadixSweep {
+			cells = append(cells, expCell(Experiment{
+				Algorithm: alg, Model: model, N: n, Procs: procs, Radix: r, Dist: keys.Gauss,
+			}))
+		}
+	}
+	res, err := h.runGrid(cells)
+	if err != nil {
+		return nil, err
+	}
+	cur := &gridCursor{res: res}
+	for _, s := range h.opts.Sizes {
 		times := make(map[int]float64)
 		for _, r := range h.opts.RadixSweep {
-			out, err := h.run(Experiment{
-				Algorithm: alg, Model: model, N: n, Procs: procs, Radix: r, Dist: keys.Gauss,
-			})
-			if err != nil {
-				return nil, err
-			}
-			times[r] = out.TimeNs
+			times[r] = cur.take().out.TimeNs
 		}
 		ref, ok := times[8]
 		if !ok {
@@ -467,23 +583,39 @@ func (h *Harness) Tables23() (*BestTables, error) {
 		Radix:  {CCSAS, CCSASNew, MPI, SHMEM},
 		Sample: {CCSAS, MPI, SHMEM},
 	}
+	var cells []gridCell
 	for _, s := range h.opts.Sizes {
 		bt.Sizes = append(bt.Sizes, s.Label)
 		n := h.sizeN(s)
+		for _, alg := range []Algorithm{Radix, Sample} {
+			for _, p := range h.opts.Procs {
+				for _, mo := range variants[alg] {
+					for _, r := range h.opts.TableRadixes {
+						cells = append(cells, expCell(Experiment{
+							Algorithm: alg, Model: mo, N: n, Procs: p, Radix: r, Dist: keys.Gauss,
+						}))
+					}
+				}
+			}
+		}
+	}
+	res, err := h.runGrid(cells)
+	if err != nil {
+		return nil, err
+	}
+	cur := &gridCursor{res: res}
+	for _, s := range h.opts.Sizes {
 		for _, alg := range []Algorithm{Radix, Sample} {
 			if bt.Best[alg][s.Label] == nil {
 				bt.Best[alg][s.Label] = make(map[int]BestCell)
 			}
 			for _, p := range h.opts.Procs {
+				// Ties resolve to the earliest candidate in sweep order,
+				// exactly as the serial loop did.
 				best := BestCell{TimeNs: -1}
 				for _, mo := range variants[alg] {
 					for _, r := range h.opts.TableRadixes {
-						out, err := h.run(Experiment{
-							Algorithm: alg, Model: mo, N: n, Procs: p, Radix: r, Dist: keys.Gauss,
-						})
-						if err != nil {
-							return nil, err
-						}
+						out := cur.take().out
 						if best.TimeNs < 0 || out.TimeNs < best.TimeNs {
 							best = BestCell{TimeNs: out.TimeNs, Model: mo, Radix: r}
 						}

@@ -1,0 +1,142 @@
+package repro
+
+// The concurrent experiment scheduler. The paper's evaluation is a large
+// grid of independent deterministic simulations — {algorithm × model ×
+// size × processors × radix} — and, just as the paper's sorts exploit
+// that permutation work is independent per processor, the harness
+// exploits that the grid is independent per cell: cells run on a bounded
+// worker pool and results are gathered in submission order, so every
+// rendered table and figure is byte-identical to a serial run.
+//
+// Safety argument (audited; see DESIGN.md §6): each Run builds its own
+// Machine, address space, caches and key slices; the internal packages
+// hold no package-level mutable state (only read-only tables such as
+// keys.AllDists), and every library config (mpi.Config, shmem.Config,
+// machine.Config) has value semantics. The only state shared across
+// concurrent cells lives in the Harness: the baseline cache (guarded by
+// singleflight entries below) and the Progress callback (serialized).
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/keys"
+)
+
+// forEachIndex runs fn(i) for every i in [0, n) on at most par worker
+// goroutines and returns when all calls completed. par < 1 selects
+// runtime.GOMAXPROCS(0).
+func forEachIndex(par, n int, fn func(i int)) {
+	if par < 1 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > n {
+		par = n
+	}
+	if par <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// RunAll executes the experiments concurrently on at most parallelism
+// worker goroutines (parallelism < 1 selects runtime.GOMAXPROCS(0)) and
+// returns the outcomes in input order. The simulator's virtual time is a
+// pure function of each experiment's inputs — independent of host
+// scheduling — so the outcomes are identical at any parallelism. If any
+// experiment fails, the error of the earliest failing cell (in input
+// order) is returned.
+func RunAll(parallelism int, exps []Experiment) ([]*Outcome, error) {
+	outs := make([]*Outcome, len(exps))
+	errs := make([]error, len(exps))
+	forEachIndex(parallelism, len(exps), func(i int) {
+		outs[i], errs[i] = Run(exps[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return outs, nil
+}
+
+// gridCell is one unit of work submitted to the harness scheduler:
+// either one experiment run or one cached sequential-baseline lookup.
+type gridCell struct {
+	exp      Experiment
+	baseline bool // route exp.N/exp.Dist through BaselineTime
+}
+
+// expCell submits one experiment.
+func expCell(e Experiment) gridCell { return gridCell{exp: e} }
+
+// baselineCell submits one sequential-baseline lookup (deduplicated via
+// the harness's singleflight cache).
+func baselineCell(n int, dist keys.Dist) gridCell {
+	return gridCell{exp: Experiment{N: n, Dist: dist}, baseline: true}
+}
+
+// gridResult is the result of one gridCell: out for experiment cells,
+// base for baseline cells.
+type gridResult struct {
+	out  *Outcome
+	base float64
+}
+
+// runGrid executes the cells through a worker pool of
+// h.opts.Parallelism goroutines and returns the results in cell order.
+// Every figure/table driver submits its grid here and consumes the
+// results in the same deterministic order it submitted them, so the
+// rendered output never depends on scheduling. On failure the earliest
+// failing cell's error (in cell order) is returned.
+func (h *Harness) runGrid(cells []gridCell) ([]gridResult, error) {
+	results := make([]gridResult, len(cells))
+	errs := make([]error, len(cells))
+	forEachIndex(h.opts.Parallelism, len(cells), func(i int) {
+		c := cells[i]
+		if c.baseline {
+			t, err := h.BaselineTime(c.exp.N, c.exp.Dist)
+			results[i], errs[i] = gridResult{base: t}, err
+			return
+		}
+		out, err := h.run(c.exp)
+		results[i], errs[i] = gridResult{out: out}, err
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// gridCursor walks a runGrid result slice in submission order; drivers
+// replay their submission loops and take one result per cell.
+type gridCursor struct {
+	res  []gridResult
+	next int
+}
+
+func (c *gridCursor) take() gridResult {
+	r := c.res[c.next]
+	c.next++
+	return r
+}

@@ -1,0 +1,213 @@
+package repro
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/keys"
+)
+
+// TestBaselineTimeConcurrentSingleflight hammers BaselineTime from 8
+// goroutines (run under -race in CI) and asserts the baseline experiment
+// executed exactly once per key: the unsynchronized map it replaces was
+// both a data race and a source of duplicated sequential runs.
+func TestBaselineTimeConcurrentSingleflight(t *testing.T) {
+	var computed atomic.Int64
+	h := NewHarness(Options{
+		Progress: func(format string, _ ...any) {
+			if strings.HasPrefix(format, "baseline") {
+				computed.Add(1)
+			}
+		},
+	})
+	ns := []int{1 << 12, 1 << 13}
+	const workers = 8
+	const iters = 4
+	times := make([][]float64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				for _, n := range ns {
+					v, err := h.BaselineTime(n, keys.Gauss)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					times[w] = append(times[w], v)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := computed.Load(); got != int64(len(ns)) {
+		t.Errorf("baseline experiments ran %d times, want exactly %d (one per key)", got, len(ns))
+	}
+	if len(h.baseline) != len(ns) {
+		t.Errorf("baseline cache holds %d entries, want %d", len(h.baseline), len(ns))
+	}
+	for w := 1; w < workers; w++ {
+		for i, v := range times[w] {
+			if v != times[0][i] {
+				t.Fatalf("worker %d saw baseline %v at call %d, worker 0 saw %v", w, v, i, times[0][i])
+			}
+		}
+	}
+}
+
+// determinismGrid is a small mixed grid covering both algorithms and all
+// parallel models.
+func determinismGrid() []Experiment {
+	var exps []Experiment
+	for _, alg := range []Algorithm{Radix, Sample} {
+		for _, mo := range Models(alg) {
+			exps = append(exps, Experiment{
+				Algorithm: alg, Model: mo, N: 1 << 13, Procs: 4, Radix: 7, Dist: keys.Gauss,
+			})
+		}
+	}
+	exps = append(exps, Experiment{
+		Algorithm: Radix, Model: Seq, N: 1 << 12, Procs: 1, Radix: 8, Dist: keys.Random,
+	})
+	return exps
+}
+
+// TestRunAllParallelSerialDeterminism runs the same experiment grid with
+// parallelism 1 and 8 and asserts identical simulated times and
+// per-processor breakdowns for every cell: the virtual-time model must
+// be independent of host scheduling.
+func TestRunAllParallelSerialDeterminism(t *testing.T) {
+	exps := determinismGrid()
+	serial, err := RunAll(1, exps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunAll(8, exps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range exps {
+		s, p := serial[i], parallel[i]
+		if s.Experiment != exps[i] {
+			t.Errorf("cell %d: outcome out of order: got %+v", i, s.Experiment)
+		}
+		if s.TimeNs != p.TimeNs {
+			t.Errorf("cell %d (%s/%s): TimeNs %v (serial) != %v (parallel)",
+				i, exps[i].Algorithm, exps[i].Model, s.TimeNs, p.TimeNs)
+		}
+		sb, pb := s.Breakdowns(), p.Breakdowns()
+		if len(sb) != len(pb) {
+			t.Fatalf("cell %d: breakdown lengths differ: %d vs %d", i, len(sb), len(pb))
+		}
+		for j := range sb {
+			if sb[j] != pb[j] {
+				t.Errorf("cell %d proc %d: breakdown %+v (serial) != %+v (parallel)", i, j, sb[j], pb[j])
+			}
+		}
+	}
+}
+
+// TestHarnessParallelByteIdentical renders the same figures with
+// Parallelism 1 and 8 and asserts byte-identical output — the guarantee
+// cmd/paperfigs -j relies on.
+func TestHarnessParallelByteIdentical(t *testing.T) {
+	opts := func(par int) Options {
+		return Options{
+			Procs: []int{4, 8}, Sizes: SizeClasses[:1],
+			RadixSweep: []int{7, 8}, TableRadixes: []int{8},
+			Parallelism: par,
+		}
+	}
+	render := func(par int) []string {
+		h := NewHarness(opts(par))
+		t1, _, err := h.Table1()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f3, err := h.Figure3()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f5, err := h.Figure5()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f6, err := h.Figure6()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bt, err := h.Tables23()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return []string{
+			t1.String(), f3.Table().String(), f5.Table().String(),
+			f6.Table().String(), bt.Table2().String(), bt.Table3().String(),
+		}
+	}
+	serial := render(1)
+	parallel := render(8)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Errorf("output block %d differs between -j 1 and -j 8:\nserial:\n%s\nparallel:\n%s",
+				i, serial[i], parallel[i])
+		}
+	}
+}
+
+// TestRunAllError asserts the earliest failing cell's error is returned.
+func TestRunAllError(t *testing.T) {
+	exps := []Experiment{
+		{Algorithm: Radix, Model: SHMEM, N: 1 << 12, Procs: 4},
+		{Algorithm: Radix, Model: SHMEM, N: -1, Procs: 4},
+	}
+	if _, err := RunAll(4, exps); err == nil {
+		t.Fatal("RunAll with an invalid cell returned nil error")
+	}
+}
+
+// TestRunAllEmpty covers the degenerate empty grid.
+func TestRunAllEmpty(t *testing.T) {
+	outs, err := RunAll(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 0 {
+		t.Fatalf("got %d outcomes for empty grid", len(outs))
+	}
+}
+
+// TestRunInvalidRadix covers the new Radix range validation.
+func TestRunInvalidRadix(t *testing.T) {
+	for _, r := range []int{-1, 25} {
+		if _, err := Run(Experiment{Algorithm: Radix, Model: SHMEM, N: 1 << 12, Procs: 4, Radix: r}); err == nil {
+			t.Errorf("Run accepted Radix=%d", r)
+		}
+	}
+}
+
+// TestProgressSerialized asserts Progress is never invoked concurrently
+// under a parallel grid.
+func TestProgressSerialized(t *testing.T) {
+	var inFlight atomic.Int64
+	var overlapped atomic.Bool
+	h := NewHarness(Options{
+		Procs: []int{4}, Sizes: SizeClasses[:1], Parallelism: 8,
+		Progress: func(string, ...any) {
+			if inFlight.Add(1) > 1 {
+				overlapped.Store(true)
+			}
+			inFlight.Add(-1)
+		},
+	})
+	if _, err := h.Figure3(); err != nil {
+		t.Fatal(err)
+	}
+	if overlapped.Load() {
+		t.Error("Progress callback ran concurrently")
+	}
+}

@@ -68,13 +68,19 @@ func TestRunCollectsPerProcStats(t *testing.T) {
 func TestRunIsDeterministic(t *testing.T) {
 	run := func() float64 {
 		m := testMachine(t, 8)
-		arr := NewArrayBlocked[uint32](m, "keys", 1<<14)
+		// Permute src into a separate dst, as the real sorting programs
+		// do: i -> (i+7919) mod n is a bijection, so every host-slice
+		// element is written by exactly one processor and the body is
+		// race-free (an earlier version scattered into src itself, which
+		// raced each proc's reads against others' writes under -race).
+		src := NewArrayBlocked[uint32](m, "keys", 1<<14)
+		dst := NewArrayBlocked[uint32](m, "out", 1<<14)
 		res := m.Run(func(p *Proc) {
-			n := arr.Len() / m.Procs()
+			n := src.Len() / m.Procs()
 			lo := p.ID * n
 			for i := lo; i < lo+n; i++ {
-				arr.Load(p, i, Private)
-				arr.Store(p, (i+7919)%arr.Len(), uint32(i), RemoteProduced)
+				v := src.Load(p, i, Private)
+				dst.Store(p, (i+7919)%dst.Len(), v+uint32(i), RemoteProduced)
 			}
 			m.Barrier(p)
 			p.Compute(10)

@@ -85,9 +85,9 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 }
 
 // SizeClass maps a paper data-set label to its key counts: the paper's
-// count and the scaled count used on the scaled machine (÷64, matching
-// the cache scaled ÷64; every capacity crossover lands in the same place
-// relative to the cache).
+// count and the scaled count used on the scaled machine (÷16, matching
+// the cache scaled ÷16 by machine.ScaleFactor; every capacity crossover
+// lands in the same place relative to the cache).
 type SizeClass struct {
 	Label   string
 	PaperN  int
@@ -194,6 +194,9 @@ func (o *Outcome) Breakdowns() []machine.Breakdown {
 func Run(e Experiment) (*Outcome, error) {
 	if e.Radix == 0 {
 		e.Radix = 8
+	}
+	if e.Radix < 1 || e.Radix > 24 {
+		return nil, fmt.Errorf("repro: Radix must be in [1, 24] bits, got %d", e.Radix)
 	}
 	if e.N <= 0 {
 		return nil, fmt.Errorf("repro: N must be positive, got %d", e.N)
