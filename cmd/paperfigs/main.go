@@ -6,6 +6,12 @@
 //
 //	paperfigs [-exp all|table1|fig1|...|table23] [-sizes 1M,4M,16M]
 //	          [-procs 16,32,64] [-seed N] [-j N] [-benchjson] [-v]
+//	          [-trace out.json]
+//
+// -trace records a virtual-time event trace of every experiment cell and
+// writes them all to one Chrome trace_event JSON file (one Perfetto
+// process per cell, one track per simulated processor). The file is
+// deterministic: byte-identical at any -j.
 //
 // By default every experiment runs on the scaled machine over all five
 // size classes; use -sizes to restrict (the 64M/256M classes take
@@ -25,6 +31,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -32,6 +39,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/trace"
 )
 
 // figureRun is one regenerable experiment: run returns the printable
@@ -120,47 +128,66 @@ type benchReport struct {
 }
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fatal(err)
+	}
+}
+
+// run is the command body, parameterized over arguments and output
+// streams so the golden-file test can drive it in-process. Figure/table
+// blocks go to stdout; progress and bench summaries go to stderr.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("paperfigs", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp       = flag.String("exp", "all", "experiment: all, table1, fig1..fig10, table23")
-		sizes     = flag.String("sizes", "", "comma-separated size classes (1M,4M,16M,64M,256M); default all")
-		procs     = flag.String("procs", "", "comma-separated processor counts; default 16,32,64")
-		radixes   = flag.String("radixes", "", "comma-separated radix sweep for fig6/fig10; default 6..12")
-		seed      = flag.Uint64("seed", 0, "key generation seed")
-		par       = flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent experiment runs (>= 1)")
-		benchjson = flag.Bool("benchjson", false, "write per-figure wall-clock/simulated metrics to -benchout")
-		benchout  = flag.String("benchout", "BENCH_paperfigs.json", "output path for -benchjson")
-		verbose   = flag.Bool("v", false, "print one line per completed run")
+		exp       = fs.String("exp", "all", "experiment: all, table1, fig1..fig10, table23")
+		sizes     = fs.String("sizes", "", "comma-separated size classes (1M,4M,16M,64M,256M); default all")
+		procs     = fs.String("procs", "", "comma-separated processor counts; default 16,32,64")
+		radixes   = fs.String("radixes", "", "comma-separated radix sweep for fig6/fig10; default 6..12")
+		seed      = fs.Uint64("seed", 0, "key generation seed")
+		par       = fs.Int("j", runtime.GOMAXPROCS(0), "max concurrent experiment runs (>= 1)")
+		benchjson = fs.Bool("benchjson", false, "write per-figure wall-clock/simulated metrics to -benchout")
+		benchout  = fs.String("benchout", "BENCH_paperfigs.json", "output path for -benchjson")
+		traceTo   = fs.String("trace", "", "write every cell's event trace to this Chrome trace_event JSON file")
+		verbose   = fs.Bool("v", false, "print one line per completed run")
 	)
-	flag.Parse()
-	if flag.NArg() > 0 {
-		fatal(fmt.Errorf("unexpected arguments: %v", flag.Args()))
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
 	if *par < 1 {
-		fatal(fmt.Errorf("-j must be >= 1, got %d", *par))
+		return fmt.Errorf("-j must be >= 1, got %d", *par)
 	}
 	if !validExp(*exp) {
-		fatal(fmt.Errorf("unknown experiment %q (want all, table1, fig1..fig10, or table23)", *exp))
+		return fmt.Errorf("unknown experiment %q (want all, table1, fig1..fig10, or table23)", *exp)
 	}
 
-	opts := repro.Options{Seed: *seed, Parallelism: *par}
+	opts := repro.Options{Seed: *seed, Parallelism: *par, Trace: *traceTo != ""}
 	if *sizes != "" {
 		for _, s := range strings.Split(*sizes, ",") {
 			sc, err := repro.SizeByLabel(strings.TrimSpace(s))
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			opts.Sizes = append(opts.Sizes, sc)
 		}
 	}
+	var err error
 	if *procs != "" {
-		opts.Procs = parseInts("-procs", *procs)
+		if opts.Procs, err = parseInts("-procs", *procs); err != nil {
+			return err
+		}
 	}
 	if *radixes != "" {
-		opts.RadixSweep = parseInts("-radixes", *radixes)
+		if opts.RadixSweep, err = parseInts("-radixes", *radixes); err != nil {
+			return err
+		}
 	}
 	if *verbose {
 		opts.Progress = func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
+			fmt.Fprintf(stderr, format+"\n", args...)
 		}
 	}
 	h := repro.NewHarness(opts)
@@ -174,12 +201,12 @@ func main() {
 		start := time.Now()
 		blocks, err := r.run(h)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		wall := time.Since(start)
 		after := h.Stats()
 		for _, b := range blocks {
-			fmt.Println(b)
+			fmt.Fprintln(stdout, b)
 		}
 		rep.Figures = append(rep.Figures, benchEntry{
 			Name:   r.name,
@@ -193,17 +220,33 @@ func main() {
 		rep.TotalRuns += e.Runs
 		rep.TotalSimMs += e.SimMs
 	}
+	if *traceTo != "" {
+		f, err := os.Create(*traceTo)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteChrome(f, h.Traces()...); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "paperfigs: wrote %s (%d traces; open in Perfetto)\n",
+			*traceTo, len(h.Traces()))
+	}
 	if *benchjson {
 		buf, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if err := os.WriteFile(*benchout, append(buf, '\n'), 0o644); err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Fprintf(os.Stderr, "paperfigs: wrote %s (%d runs, %.0f ms wall, -j %d)\n",
+		fmt.Fprintf(stderr, "paperfigs: wrote %s (%d runs, %.0f ms wall, -j %d)\n",
 			*benchout, rep.TotalRuns, rep.TotalWallMs, *par)
 	}
+	return nil
 }
 
 // validExp reports whether name selects at least one runner.
@@ -219,21 +262,20 @@ func validExp(name string) bool {
 	return false
 }
 
-// parseInts parses a comma-separated list of positive ints, exiting
-// non-zero on malformed or non-positive values.
-func parseInts(flagName, s string) []int {
+// parseInts parses a comma-separated list of positive ints.
+func parseInts(flagName, s string) ([]int, error) {
 	var out []int
 	for _, part := range strings.Split(s, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil {
-			fatal(fmt.Errorf("%s: %v", flagName, err))
+			return nil, fmt.Errorf("%s: %v", flagName, err)
 		}
 		if v < 1 {
-			fatal(fmt.Errorf("%s: values must be >= 1, got %d", flagName, v))
+			return nil, fmt.Errorf("%s: values must be >= 1, got %d", flagName, v)
 		}
 		out = append(out, v)
 	}
-	return out
+	return out, nil
 }
 
 func fatal(err error) {

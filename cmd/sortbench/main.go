@@ -4,17 +4,25 @@
 // Usage:
 //
 //	sortbench -algo radix -model shmem -n 262144 -procs 16 -radix 8 \
-//	          -dist gauss [-seed N] [-full] [-perproc]
+//	          -dist gauss [-seed N] [-full] [-perproc] \
+//	          [-trace out.json] [-metrics out.json]
+//
+// -trace writes a Chrome trace_event JSON file of the run (open it in
+// Perfetto or chrome://tracing; one track per simulated processor).
+// -metrics writes the run's flat metrics map as JSON. Both outputs are
+// deterministic: the same experiment always produces identical bytes.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro"
 	"repro/internal/keys"
 	"repro/internal/report"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -28,6 +36,8 @@ func main() {
 		seed    = flag.Uint64("seed", 0, "key generation seed")
 		full    = flag.Bool("full", false, "use the full-size (unscaled) Origin2000 parameters")
 		perproc = flag.Bool("perproc", false, "print the per-processor breakdown")
+		traceTo = flag.String("trace", "", "write a Chrome trace_event JSON trace to this file")
+		metrics = flag.String("metrics", "", "write the flat metrics map as JSON to this file")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -49,9 +59,24 @@ func main() {
 	out, err := repro.Run(repro.Experiment{
 		Algorithm: a, Model: m, N: *n, Procs: *procs, Radix: *radix,
 		Dist: d, Seed: *seed, FullSize: *full,
+		Trace: *traceTo != "" || *metrics != "",
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if *traceTo != "" {
+		if err := writeFile(*traceTo, func(w io.Writer) error {
+			return trace.WriteChrome(w, out.Trace())
+		}); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace: wrote %s (Chrome trace_event JSON; open in Perfetto)\n", *traceTo)
+	}
+	if *metrics != "" {
+		if err := writeFile(*metrics, out.Trace().WriteMetrics); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics: wrote %s\n", *metrics)
 	}
 
 	fmt.Printf("%s/%s  n=%d  procs=%d  radix=%d  dist=%s\n",
@@ -82,6 +107,19 @@ func main() {
 		}
 		fmt.Println(t)
 	}
+}
+
+// writeFile creates path and streams write's output into it.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/keys"
 	"repro/internal/machine"
 	"repro/internal/report"
+	"repro/internal/trace"
 )
 
 // Options configures a Harness run. Zero values select the paper's full
@@ -33,6 +34,11 @@ type Options struct {
 	// time is independent of host scheduling, so tables and figures are
 	// byte-identical at any setting; only wall-clock changes.
 	Parallelism int
+	// Trace records a virtual-time event trace for every experiment cell
+	// (baselines excluded — they are cached and shared across drivers).
+	// Traces accumulate on the harness in deterministic submission order
+	// regardless of Parallelism; fetch them with Traces.
+	Trace bool
 	// Progress, when set, receives one line per completed run. Calls are
 	// serialized (never concurrent), but under Parallelism > 1 the order
 	// of lines follows completion order, not submission order.
@@ -85,6 +91,13 @@ type Harness struct {
 	// statMu guards stats.
 	statMu sync.Mutex
 	stats  HarnessStats
+
+	// traceMu guards traces, the event traces collected when opts.Trace
+	// is set. runGrid appends each grid's traces in cell order after the
+	// grid completes, so the sequence is deterministic at any
+	// Parallelism.
+	traceMu sync.Mutex
+	traces  []*trace.Trace
 }
 
 type baselineKey struct {
@@ -180,10 +193,21 @@ func (h *Harness) BaselineTime(n int, dist keys.Dist) (float64, error) {
 	return e.timeNs, e.err
 }
 
+// Traces returns the event traces collected so far (opts.Trace must be
+// set), in the deterministic order the drivers submitted their cells.
+func (h *Harness) Traces() []*trace.Trace {
+	h.traceMu.Lock()
+	defer h.traceMu.Unlock()
+	out := make([]*trace.Trace, len(h.traces))
+	copy(out, h.traces)
+	return out
+}
+
 // run executes one experiment with harness-wide settings folded in.
 func (h *Harness) run(e Experiment) (*Outcome, error) {
 	e.Seed = h.opts.Seed
 	e.FullSize = h.opts.FullSize
+	e.Trace = h.opts.Trace
 	out, err := Run(e)
 	if err != nil {
 		return nil, err

@@ -125,6 +125,20 @@ func (h *Harness) runGrid(cells []gridCell) ([]gridResult, error) {
 			return nil, err
 		}
 	}
+	if h.opts.Trace {
+		// Gather traces in cell order, after the whole grid completed, so
+		// the harness's trace sequence is deterministic at any
+		// Parallelism.
+		h.traceMu.Lock()
+		for _, r := range results {
+			if r.out != nil {
+				if tr := r.out.Trace(); tr != nil {
+					h.traces = append(h.traces, tr)
+				}
+			}
+		}
+		h.traceMu.Unlock()
+	}
 	return results, nil
 }
 

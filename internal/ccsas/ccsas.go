@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"repro/internal/machine"
+	"repro/internal/trace"
 )
 
 // World is the shared-address-space execution context for one parallel
@@ -66,8 +67,12 @@ func (f *Flag) Set(p *machine.Proc) {
 // Wait spins until the flag is set, charging the wait to SYNC plus one
 // flag-line transfer.
 func (f *Flag) Wait(p *machine.Proc) {
+	start := p.Now()
 	t := <-f.ch
 	p.WaitUntil(t + f.w.flagLatencyNs)
+	if waited := p.Now() - start; waited > 0 {
+		p.TraceEvent(trace.EvMsgWait, -1, 0, waited)
+	}
 }
 
 // PrefixTree accumulates per-processor histograms into global bucket

@@ -1,6 +1,10 @@
 package machine
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/trace"
+)
 
 // Barrier is a reusable virtual-time barrier: all members block until the
 // last arrives, then every member's clock advances to the maximum arrival
@@ -49,6 +53,7 @@ func (b *Barrier) Reset() {
 // Wait blocks p until all members arrive and then advances p's clock to
 // the common release time.
 func (b *Barrier) Wait(p *Proc) {
+	arrival := p.clock
 	b.mu.Lock()
 	myGen := b.gen
 	if p.clock > b.maxClock {
@@ -70,4 +75,7 @@ func (b *Barrier) Wait(p *Proc) {
 	b.mu.Unlock()
 
 	p.WaitUntil(rel)
+	if p.tr != nil {
+		p.tr.Emit(trace.EvBarrier, arrival, rel-arrival, -1, 0)
+	}
 }

@@ -17,6 +17,7 @@ import (
 	"repro/internal/coherence"
 	"repro/internal/memsys"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 // Machine is one simulated multiprocessor.
@@ -28,6 +29,9 @@ type Machine struct {
 	procs []*Proc
 
 	barrier *Barrier
+
+	// tracing makes the next Run record a virtual-time event trace.
+	tracing bool
 }
 
 // New builds a machine from cfg. The configuration is validated and its
@@ -93,6 +97,14 @@ func (m *Machine) barrierCost() float64 {
 	return m.cfg.BarrierBaseNs + m.cfg.BarrierPerLogNs*float64(logs)
 }
 
+// EnableTracing makes subsequent Runs record a deterministic
+// virtual-time event trace, attached to Result.Trace. Tracing costs
+// nothing when not enabled (every emission site is a nil check).
+func (m *Machine) EnableTracing() { m.tracing = true }
+
+// DisableTracing stops trace recording for subsequent Runs.
+func (m *Machine) DisableTracing() { m.tracing = false }
+
 // Result reports one parallel run.
 type Result struct {
 	// TimeNs is the simulated wall time: the max over processors of
@@ -100,6 +112,9 @@ type Result struct {
 	TimeNs float64
 	// PerProc is each processor's stats.
 	PerProc []ProcStats
+	// Trace is the run's virtual-time event trace, nil unless the
+	// machine had tracing enabled.
+	Trace *trace.Trace
 }
 
 // MaxBreakdown returns the stats of the processor that finished last.
@@ -131,8 +146,15 @@ func (r *Result) TotalBreakdown() Breakdown {
 // A panic in any processor body is re-raised on the caller's goroutine
 // after all other processors finish.
 func (m *Machine) Run(body func(p *Proc)) *Result {
+	var tr *trace.Trace
+	if m.tracing {
+		tr = trace.New(len(m.procs))
+	}
 	for _, p := range m.procs {
 		p.resetClock()
+		if tr != nil {
+			p.tr = tr.Procs[p.ID]
+		}
 	}
 	m.barrier.Reset()
 	var wg sync.WaitGroup
@@ -162,7 +184,71 @@ func (m *Machine) Run(body func(p *Proc)) *Result {
 			res.TimeNs = p.clock
 		}
 	}
+	if tr != nil {
+		for _, p := range m.procs {
+			p.tr.CloseSpan(p.clock)
+		}
+		tr.TimeNs = res.TimeNs
+		fillMetrics(tr, res)
+		res.Trace = tr
+	}
 	return res
+}
+
+// fillMetrics flattens the run's statistics into the trace's
+// machine-readable metrics map: whole-run and per-phase breakdowns,
+// traffic by coherence-transaction class, and cache/TLB rates. Keys are
+// stable, so identical runs produce identical metric exports.
+func fillMetrics(tr *trace.Trace, res *Result) {
+	var total Breakdown
+	var traffic Traffic
+	var accesses, misses, writebacks, tlbMisses uint64
+	phases := make(map[string]Breakdown)
+	for _, ps := range res.PerProc {
+		total.Add(ps.Breakdown)
+		traffic.RemoteBytes += ps.Traffic.RemoteBytes
+		traffic.Messages += ps.Traffic.Messages
+		traffic.ProtocolTransactions += ps.Traffic.ProtocolTransactions
+		accesses += ps.CacheAccesses
+		misses += ps.CacheMisses
+		writebacks += ps.Writebacks
+		tlbMisses += ps.TLBMisses
+		for name, b := range ps.Phases {
+			acc := phases[name]
+			acc.Add(b)
+			phases[name] = acc
+		}
+	}
+	tr.AddMetric("time_ns", res.TimeNs)
+	tr.AddMetric("procs", float64(len(res.PerProc)))
+	addBreakdown := func(prefix string, b Breakdown) {
+		tr.AddMetric(prefix+".busy_ns", b.Busy)
+		tr.AddMetric(prefix+".lmem_ns", b.LMem)
+		tr.AddMetric(prefix+".rmem_ns", b.RMem)
+		tr.AddMetric(prefix+".sync_ns", b.Sync)
+	}
+	addBreakdown("breakdown", total)
+	for name, b := range phases {
+		addBreakdown("phase."+name, b)
+	}
+	tr.AddMetric("traffic.remote_bytes", float64(traffic.RemoteBytes))
+	tr.AddMetric("traffic.messages", float64(traffic.Messages))
+	tr.AddMetric("traffic.protocol_transactions", float64(traffic.ProtocolTransactions))
+	tx := tr.TxTotals()
+	for c := trace.TxClass(0); c < trace.NumTxClasses; c++ {
+		tr.AddMetric("tx."+c.String(), float64(tx[c]))
+	}
+	tr.AddMetric("cache.accesses", float64(accesses))
+	tr.AddMetric("cache.misses", float64(misses))
+	tr.AddMetric("cache.writebacks", float64(writebacks))
+	if accesses > 0 {
+		tr.AddMetric("cache.miss_rate", float64(misses)/float64(accesses))
+	} else {
+		tr.AddMetric("cache.miss_rate", 0)
+	}
+	tr.AddMetric("tlb.misses", float64(tlbMisses))
+	tr.AddMetric("events", float64(tr.EventCount()))
+	tr.AddMetric("spans", float64(tr.SpanCount()))
 }
 
 // ResetMemory flushes every processor's cache and TLB (e.g. between

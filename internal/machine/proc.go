@@ -3,6 +3,7 @@ package machine
 import (
 	"repro/internal/cache"
 	"repro/internal/coherence"
+	"repro/internal/trace"
 )
 
 // Addr re-exports the simulated address type for convenience.
@@ -59,6 +60,12 @@ type Proc struct {
 	phase    string
 	phaseAcc *Breakdown
 	phases   map[string]*Breakdown
+
+	// tr is this processor's event-trace track, nil when tracing is
+	// disabled. Every emission site is guarded by a nil check, so the
+	// disabled hot path costs one predictable branch and zero
+	// allocations (enforced by TestTracingDisabledZeroAlloc).
+	tr *trace.ProcTrace
 }
 
 func newProc(m *Machine, id int) *Proc {
@@ -79,12 +86,22 @@ func (p *Proc) resetClock() {
 	p.phase = ""
 	p.phaseAcc = nil
 	p.phases = nil
+	p.tr = nil
 }
 
 // SetPhase labels subsequent charges with a phase name; per-phase
 // breakdowns are reported in ProcStats.Phases. An empty name stops
-// phase attribution.
+// phase attribution. When tracing is enabled, each SetPhase boundary
+// closes the previous phase span and opens a new one on this
+// processor's trace track.
 func (p *Proc) SetPhase(name string) {
+	if p.tr != nil {
+		if name == "" {
+			p.tr.CloseSpan(p.clock)
+		} else {
+			p.tr.BeginSpan(name, p.clock)
+		}
+	}
 	p.phase = name
 	if name == "" {
 		p.phaseAcc = nil
@@ -128,6 +145,27 @@ func (p *Proc) Now() float64 { return p.clock }
 
 // Stats returns a snapshot of the processor's accumulated statistics.
 func (p *Proc) Stats() ProcStats { return p.snapshot() }
+
+// Tracing reports whether this processor currently records a trace.
+func (p *Proc) Tracing() bool { return p.tr != nil }
+
+// TraceEvent records a typed communication event ending at the current
+// virtual time: the event covers [Now-durNs, Now]. peer is the other
+// rank involved (-1 when not applicable); bytes the payload size. A
+// no-op (one branch, zero allocations) when tracing is disabled.
+func (p *Proc) TraceEvent(kind trace.EventKind, peer, bytes int, durNs float64) {
+	if p.tr != nil {
+		p.tr.Emit(kind, p.clock-durNs, durNs, peer, int64(bytes))
+	}
+}
+
+// countTx attributes one coherence-protocol transaction to a trace
+// class when tracing is enabled.
+func (p *Proc) countTx(c trace.TxClass) {
+	if p.tr != nil {
+		p.tr.CountTx(c)
+	}
+}
 
 // Compute charges ops abstract ALU operations to BUSY.
 func (p *Proc) Compute(ops int) {
@@ -247,10 +285,14 @@ func (p *Proc) missCharge(a Addr, write bool, sh Sharing, overlap float64) {
 	home := p.m.as.HomeOf(a)
 	cfg := &p.m.cfg
 	if cfg.FlatMemory {
-		// Ablation: uniform memory, no coherence.
+		// Ablation: uniform memory, no coherence (and no protocol
+		// transactions to count).
 		p.chargeLocal(cfg.Topology.LocalLatency)
 		return
 	}
+	// Sharing constants mirror trace.TxClass order, so the conversion is
+	// a cast (checked by TestSharingTxClassAlignment).
+	p.countTx(trace.TxClass(sh))
 	var res coherence.Result
 	switch sh {
 	case Private:
@@ -307,6 +349,7 @@ func (p *Proc) chargeWriteback(a Addr) {
 		p.chargeLocal(cfg.Coherence.DirOccupancy)
 		return
 	}
+	p.countTx(trace.TxWriteback)
 	p.stats.Traffic.ProtocolTransactions++
 	if home == p.Node {
 		p.chargeLocal(cfg.Coherence.DirOccupancy)

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"repro/internal/machine"
+	"repro/internal/trace"
 )
 
 // Engine selects the library implementation.
@@ -177,14 +178,19 @@ func (c *Comm) Send(p *machine.Proc, dst, tag int, payload any, bytes int) {
 		panic(fmt.Sprintf("mpi: rank %d sending to itself", dst))
 	}
 	ps := c.mail[p.ID][dst]
+	sendStart := p.Now()
 	p.ComputeNs(c.cfg.SendOverheadNs)
 
 	// Flow control: wait for the window's oldest message to be consumed.
+	stallStart := p.Now()
 	for len(ps.outstanding) >= c.cfg.BufDepth {
 		oldest := ps.outstanding[0]
 		ps.outstanding = ps.outstanding[1:]
 		t := <-oldest.done
 		p.WaitUntil(t)
+	}
+	if stalled := p.Now() - stallStart; stalled > 0 {
+		p.TraceEvent(trace.EvFlowStall, dst, bytes, stalled)
 	}
 
 	msg := &Message{Src: p.ID, Tag: tag, Payload: payload, Bytes: bytes,
@@ -222,6 +228,7 @@ func (c *Comm) Send(p *machine.Proc, dst, tag int, payload any, bytes int) {
 		remoteBytes = bytes
 	}
 	p.AddMessageTraffic(remoteBytes, 1)
+	p.TraceEvent(trace.EvSend, dst, bytes, p.Now()-sendStart)
 	ps.outstanding = append(ps.outstanding, msg)
 	ps.ch <- msg
 }
@@ -235,7 +242,11 @@ func (c *Comm) Recv(p *machine.Proc, src int, dstAddr machine.Addr, dstBytes int
 		panic(fmt.Sprintf("mpi: rank %d receiving from itself", src))
 	}
 	msg := <-c.mail[src][p.ID].ch
+	recvStart := p.Now()
 	p.WaitUntil(msg.availAt)
+	if waited := p.Now() - recvStart; waited > 0 {
+		p.TraceEvent(trace.EvMsgWait, src, msg.Bytes, waited)
+	}
 	p.ComputeNs(c.cfg.RecvOverheadNs)
 	if c.cfg.Engine == Staged && msg.Bytes > 0 {
 		// Copy out of the library buffer into the application buffer.
@@ -244,6 +255,7 @@ func (c *Comm) Recv(p *machine.Proc, src int, dstAddr machine.Addr, dstBytes int
 	if dstBytes > 0 {
 		p.InvalidateRange(dstAddr, dstBytes)
 	}
+	p.TraceEvent(trace.EvRecv, src, msg.Bytes, p.Now()-recvStart)
 	msg.done <- p.Now()
 	return msg
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"repro/internal/machine"
+	"repro/internal/trace"
 )
 
 // Config sets the library's cost constants.
@@ -96,12 +97,14 @@ func (s *Sym[T]) Get(p *machine.Proc, dstOff, srcRank, srcOff, n int) {
 		return
 	}
 	c := s.c
+	start := p.Now()
 	p.ComputeNs(c.cfg.GetOverheadNs)
 	src := s.Seg[srcRank]
 	dst := s.Seg[p.ID]
 	copy(dst.Data[dstOff:dstOff+n], src.Data[srcOff:srcOff+n])
 	srcNode := c.m.Topology().NodeOf(srcRank)
 	p.BulkTransfer(srcNode, dst.Bytes(n), dst.Addr(dstOff), true)
+	p.TraceEvent(trace.EvGet, srcRank, dst.Bytes(n), p.Now()-start)
 }
 
 // GetInto pulls n elements from srcRank's segment at srcOff into an
@@ -112,11 +115,13 @@ func (s *Sym[T]) GetInto(p *machine.Proc, dst *machine.Array[T], dstOff, srcRank
 		return
 	}
 	c := s.c
+	start := p.Now()
 	p.ComputeNs(c.cfg.GetOverheadNs)
 	src := s.Seg[srcRank]
 	copy(dst.Data[dstOff:dstOff+n], src.Data[srcOff:srcOff+n])
 	srcNode := c.m.Topology().NodeOf(srcRank)
 	p.BulkTransfer(srcNode, dst.Bytes(n), dst.Addr(dstOff), true)
+	p.TraceEvent(trace.EvGet, srcRank, dst.Bytes(n), p.Now()-start)
 }
 
 // Put pushes n elements from the caller's segment at srcOff into
@@ -127,12 +132,14 @@ func (s *Sym[T]) Put(p *machine.Proc, dstRank, dstOff, srcOff, n int) {
 		return
 	}
 	c := s.c
+	start := p.Now()
 	p.ComputeNs(c.cfg.PutOverheadNs)
 	src := s.Seg[p.ID]
 	dst := s.Seg[dstRank]
 	copy(dst.Data[dstOff:dstOff+n], src.Data[srcOff:srcOff+n])
 	dstNode := c.m.Topology().NodeOf(dstRank)
 	p.BulkTransfer(dstNode, dst.Bytes(n), dst.Addr(dstOff), false)
+	p.TraceEvent(trace.EvPut, dstRank, dst.Bytes(n), p.Now()-start)
 }
 
 // Collect gathers count elements from offset 0 of every rank's src

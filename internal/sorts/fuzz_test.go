@@ -1,0 +1,117 @@
+package sorts
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// FuzzSortAgreement drives every sorting program — sequential baseline,
+// radix and sample sort under all programming models — over fuzzed key
+// sets, sizes, processor counts and radixes, and requires that each
+// output is exactly the sort.Slice ordering of the input and that every
+// simulated-time bucket stays non-negative and finite. This is the
+// package's strongest functional invariant: the simulator may reprice
+// memory, but it must never corrupt data or produce nonsense charges.
+func FuzzSortAgreement(f *testing.F) {
+	f.Add(uint64(1), uint16(1000), uint8(1), uint8(4))
+	f.Add(uint64(0), uint16(64), uint8(0), uint8(0))
+	f.Add(uint64(0xdeadbeef), uint16(4000), uint8(2), uint8(7))
+	f.Add(uint64(42), uint16(257), uint8(3), uint8(2))
+	f.Add(uint64(7), uint16(3), uint8(1), uint8(5))
+
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw uint16, procSel, radixRaw uint8) {
+		n := 1 + int(nRaw)%4096       // 1..4096 keys
+		procs := 1 << (1 + procSel%3) // 2, 4 or 8 processors
+		radix := 4 + int(radixRaw)%8  // 4..11 bits per digit
+		in := fuzzKeys(seed, n)
+		cfg := Config{Radix: radix}
+
+		want := append([]uint32(nil), in...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+
+		runs := []struct {
+			name string
+			run  func() (*Result, error)
+		}{
+			{"seq", func() (*Result, error) { return SeqRadix(fuzzMachine(t, 1), in, cfg) }},
+			{"radix/ccsas", func() (*Result, error) { return RadixCCSAS(fuzzMachine(t, procs), in, cfg, false) }},
+			{"radix/ccsas-new", func() (*Result, error) { return RadixCCSAS(fuzzMachine(t, procs), in, cfg, true) }},
+			{"radix/mpi", func() (*Result, error) { return RadixMPI(fuzzMachine(t, procs), in, cfg) }},
+			{"radix/shmem", func() (*Result, error) { return RadixSHMEM(fuzzMachine(t, procs), in, cfg) }},
+			{"sample/ccsas", func() (*Result, error) { return SampleCCSAS(fuzzMachine(t, procs), in, cfg) }},
+			{"sample/mpi", func() (*Result, error) { return SampleMPI(fuzzMachine(t, procs), in, cfg) }},
+			{"sample/shmem", func() (*Result, error) { return SampleSHMEM(fuzzMachine(t, procs), in, cfg) }},
+		}
+		for _, r := range runs {
+			res, err := r.run()
+			if err != nil {
+				t.Fatalf("%s (n=%d procs=%d radix=%d): %v", r.name, n, procs, radix, err)
+			}
+			if len(res.Sorted) != len(want) {
+				t.Fatalf("%s: output length %d, want %d", r.name, len(res.Sorted), len(want))
+			}
+			for i := range want {
+				if res.Sorted[i] != want[i] {
+					t.Fatalf("%s (n=%d procs=%d radix=%d): output[%d]=%d, sort.Slice says %d",
+						r.name, n, procs, radix, i, res.Sorted[i], want[i])
+				}
+			}
+			checkFiniteCharges(t, r.name, res)
+		}
+	})
+}
+
+// fuzzKeys expands a seed into n keys < 2^31 (the paper's key width)
+// with a splitmix64 generator, so the fuzzer controls the distribution
+// through a single integer.
+func fuzzKeys(seed uint64, n int) []uint32 {
+	out := make([]uint32, n)
+	x := seed
+	for i := range out {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		out[i] = uint32(z) & (1<<31 - 1)
+	}
+	return out
+}
+
+// fuzzMachine builds a scaled machine without the testing.T helpers the
+// unit tests use (fuzz workers call it from the Fuzz goroutine).
+func fuzzMachine(t *testing.T, procs int) *machine.Machine {
+	m, err := machine.New(machine.Origin2000Scaled(procs))
+	if err != nil {
+		t.Fatalf("machine.New(%d): %v", procs, err)
+	}
+	return m
+}
+
+// checkFiniteCharges asserts every per-processor bucket — whole-run and
+// per-phase — is non-negative and finite.
+func checkFiniteCharges(t *testing.T, name string, res *Result) {
+	if res.Run.TimeNs < 0 || math.IsNaN(res.Run.TimeNs) || math.IsInf(res.Run.TimeNs, 0) {
+		t.Fatalf("%s: TimeNs=%v", name, res.Run.TimeNs)
+	}
+	for i, ps := range res.Run.PerProc {
+		for _, b := range append([]machine.Breakdown{ps.Breakdown}, phaseBreakdowns(ps.Phases)...) {
+			for _, v := range []float64{b.Busy, b.LMem, b.RMem, b.Sync} {
+				if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("%s proc %d: bad breakdown bucket %v in %+v", name, i, v, b)
+				}
+			}
+		}
+	}
+}
+
+func phaseBreakdowns(m map[string]machine.Breakdown) []machine.Breakdown {
+	out := make([]machine.Breakdown, 0, len(m))
+	for _, b := range m {
+		out = append(out, b)
+	}
+	return out
+}

@@ -116,7 +116,9 @@ func SeqRadix(m *machine.Machine, keysIn []uint32, cfg Config) (*Result, error) 
 		if p.ID != 0 {
 			return
 		}
+		p.SetPhase("localsort")
 		inTmp = localRadixSort(p, arr, tmp, 0, n, cfg, sc, machine.Private)
+		p.SetPhase("")
 	})
 	out := arr
 	if inTmp {

@@ -1,6 +1,7 @@
 package sorts
 
 import (
+	"sort"
 	"testing"
 
 	"repro/internal/keys"
@@ -79,4 +80,124 @@ func phaseNames(m map[string]machine.Breakdown) []string {
 		out = append(out, k)
 	}
 	return out
+}
+
+// phaseSet collects the distinct phase labels recorded across all
+// processors of a run, sorted.
+func phaseSet(run *machine.Result) []string {
+	seen := make(map[string]bool)
+	for _, ps := range run.PerProc {
+		for name := range ps.Phases {
+			seen[name] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPhaseLabelsConsistent is the SetPhase audit: every paper phase
+// must be labeled, with identical names across programming models, so
+// Figure 4/8 panels and trace spans align. The radix sorts share
+// {count, histogram, permute, transfer, sync} (the original CC-SAS
+// scatters in place, so it has no separate transfer; MPI's sync time is
+// message waiting inside transfer, so it has no separate sync); the
+// sample sorts share {localsort1, splitters, redistribute, localsort2};
+// the sequential baseline is one localsort.
+func TestPhaseLabelsConsistent(t *testing.T) {
+	const procs, n, radix = 8, 1 << 13, 8
+	in := genKeys(t, keys.Gauss, n, procs, radix)
+	cfg := Config{Radix: radix}
+
+	radixWant := map[string][]string{
+		"ccsas":     {"count", "histogram", "permute", "sync"},
+		"ccsas-new": {"count", "histogram", "permute", "sync", "transfer"},
+		"mpi":       {"count", "histogram", "permute", "transfer"},
+		"shmem":     {"count", "histogram", "permute", "sync", "transfer"},
+	}
+	sampleWant := []string{"localsort1", "localsort2", "redistribute", "splitters"}
+
+	runs := map[string]func() (*Result, error){
+		"ccsas":     func() (*Result, error) { return RadixCCSAS(scaled(t, procs), in, cfg, false) },
+		"ccsas-new": func() (*Result, error) { return RadixCCSAS(scaled(t, procs), in, cfg, true) },
+		"mpi":       func() (*Result, error) { return RadixMPI(scaled(t, procs), in, cfg) },
+		"shmem":     func() (*Result, error) { return RadixSHMEM(scaled(t, procs), in, cfg) },
+	}
+	for name, run := range runs {
+		res, err := run()
+		if err != nil {
+			t.Fatalf("radix/%s: %v", name, err)
+		}
+		if got := phaseSet(res.Run); !equalStrings(got, radixWant[name]) {
+			t.Errorf("radix/%s phases = %v, want %v", name, got, radixWant[name])
+		}
+	}
+
+	sampleRuns := map[string]func() (*Result, error){
+		"ccsas": func() (*Result, error) { return SampleCCSAS(scaled(t, procs), in, cfg) },
+		"mpi":   func() (*Result, error) { return SampleMPI(scaled(t, procs), in, cfg) },
+		"shmem": func() (*Result, error) { return SampleSHMEM(scaled(t, procs), in, cfg) },
+	}
+	for name, run := range sampleRuns {
+		res, err := run()
+		if err != nil {
+			t.Fatalf("sample/%s: %v", name, err)
+		}
+		if got := phaseSet(res.Run); !equalStrings(got, sampleWant) {
+			t.Errorf("sample/%s phases = %v, want %v", name, got, sampleWant)
+		}
+	}
+
+	seq, err := SeqRadix(scaled(t, 1), in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := phaseSet(seq.Run); !equalStrings(got, []string{"localsort"}) {
+		t.Errorf("seq phases = %v, want [localsort]", got)
+	}
+}
+
+// TestPhaseBreakdownsCoverTotal checks per-phase breakdowns account for
+// every charged nanosecond: no charge lands outside a labeled phase.
+func TestPhaseBreakdownsCoverTotal(t *testing.T) {
+	const procs, n, radix = 4, 1 << 12, 8
+	in := genKeys(t, keys.Gauss, n, procs, radix)
+	cfg := Config{Radix: radix}
+	for name, run := range map[string]func() (*Result, error){
+		"radix/mpi":    func() (*Result, error) { return RadixMPI(scaled(t, procs), in, cfg) },
+		"radix/shmem":  func() (*Result, error) { return RadixSHMEM(scaled(t, procs), in, cfg) },
+		"sample/ccsas": func() (*Result, error) { return SampleCCSAS(scaled(t, procs), in, cfg) },
+		"seq":          func() (*Result, error) { return SeqRadix(scaled(t, 1), in, cfg) },
+	} {
+		res, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i, ps := range res.Run.PerProc {
+			var phased machine.Breakdown
+			for _, b := range ps.Phases {
+				phased.Add(b)
+			}
+			total := ps.Breakdown.Total()
+			if diff := total - phased.Total(); diff > 1e-6*total+1e-3 || diff < -(1e-6*total+1e-3) {
+				t.Errorf("%s proc %d: phases cover %v of %v ns (unlabeled charges)",
+					name, i, phased.Total(), total)
+			}
+		}
+	}
 }

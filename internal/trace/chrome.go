@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// WriteChrome renders one or more traces as Chrome trace_event JSON
+// (the "JSON Object Format": {"traceEvents":[...]}), viewable in
+// Perfetto or chrome://tracing. Each trace becomes one process (pid =
+// index in traces, named by the trace label); each simulated processor
+// becomes one thread (tid = processor ID), so every processor gets its
+// own track. Phase spans render as complete ("X") events; typed
+// communication events render as complete events when they have a
+// duration and instant ("i") events otherwise, carrying peer/bytes args.
+//
+// Output is deterministic: events are written in (trace, processor,
+// emission) order with fixed-precision timestamps, so identical traces
+// serialize to identical bytes.
+func WriteChrome(w io.Writer, traces ...*Trace) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"traceEvents\":[")
+	first := true
+	sep := func() {
+		if first {
+			first = false
+		} else {
+			bw.WriteString(",\n")
+		}
+	}
+	var buf []byte
+	// usec appends a virtual-ns quantity as fixed-point microseconds with
+	// nanosecond resolution (3 decimals): deterministic and exact for the
+	// trace viewer's µs timeline.
+	usec := func(ns float64) {
+		buf = strconv.AppendFloat(buf[:0], ns/1e3, 'f', 3, 64)
+		bw.Write(buf)
+	}
+	itoa := func(v int64) {
+		buf = strconv.AppendInt(buf[:0], v, 10)
+		bw.Write(buf)
+	}
+	for pid, t := range traces {
+		// Process metadata: name the run.
+		sep()
+		bw.WriteString(`{"name":"process_name","ph":"M","pid":`)
+		itoa(int64(pid))
+		bw.WriteString(`,"tid":0,"args":{"name":`)
+		bw.WriteString(strconv.Quote(t.Label))
+		bw.WriteString("}}")
+		for _, pt := range t.Procs {
+			// Thread metadata: one named track per simulated processor.
+			sep()
+			bw.WriteString(`{"name":"thread_name","ph":"M","pid":`)
+			itoa(int64(pid))
+			bw.WriteString(`,"tid":`)
+			itoa(int64(pt.ID))
+			bw.WriteString(`,"args":{"name":"proc `)
+			itoa(int64(pt.ID))
+			bw.WriteString(`"}}`)
+			for _, s := range pt.Spans {
+				sep()
+				bw.WriteString(`{"name":`)
+				bw.WriteString(strconv.Quote(s.Name))
+				bw.WriteString(`,"cat":"phase","ph":"X","pid":`)
+				itoa(int64(pid))
+				bw.WriteString(`,"tid":`)
+				itoa(int64(pt.ID))
+				bw.WriteString(`,"ts":`)
+				usec(s.Start)
+				bw.WriteString(`,"dur":`)
+				usec(s.End - s.Start)
+				bw.WriteString("}")
+			}
+			for _, e := range pt.Events {
+				sep()
+				bw.WriteString(`{"name":"`)
+				bw.WriteString(e.Kind.String())
+				bw.WriteString(`","cat":"comm","ph":"`)
+				if e.Dur > 0 {
+					bw.WriteString("X")
+				} else {
+					bw.WriteString("i")
+				}
+				bw.WriteString(`","pid":`)
+				itoa(int64(pid))
+				bw.WriteString(`,"tid":`)
+				itoa(int64(pt.ID))
+				bw.WriteString(`,"ts":`)
+				usec(e.Time)
+				if e.Dur > 0 {
+					bw.WriteString(`,"dur":`)
+					usec(e.Dur)
+				} else {
+					bw.WriteString(`,"s":"t"`)
+				}
+				bw.WriteString(`,"args":{"peer":`)
+				itoa(int64(e.Peer))
+				bw.WriteString(`,"bytes":`)
+				itoa(e.Bytes)
+				bw.WriteString("}}")
+			}
+		}
+	}
+	bw.WriteString("],\"displayTimeUnit\":\"ns\"}\n")
+	return bw.Flush()
+}

@@ -1,0 +1,32 @@
+package trace
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteMetrics renders the flat metrics map as a JSON object with keys
+// in sorted order and shortest-roundtrip float values, so identical
+// metric maps serialize to identical bytes.
+func (t *Trace) WriteMetrics(w io.Writer) error {
+	keys := make([]string, 0, len(t.metrics))
+	for k := range t.metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\n")
+	for i, k := range keys {
+		if i > 0 {
+			bw.WriteString(",\n")
+		}
+		bw.WriteString("  ")
+		bw.WriteString(strconv.Quote(k))
+		bw.WriteString(": ")
+		bw.WriteString(strconv.FormatFloat(t.metrics[k], 'g', -1, 64))
+	}
+	bw.WriteString("\n}\n")
+	return bw.Flush()
+}

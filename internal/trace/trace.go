@@ -1,0 +1,239 @@
+// Package trace is the simulator's deterministic virtual-time event
+// trace and metrics layer.
+//
+// A Trace records, per simulated processor, the phase spans the program
+// declared (via Proc.SetPhase), the typed communication events the
+// programming-model layers emitted (message send/receive, one-sided
+// put/get, flow-control stalls, message waits, barrier episodes), and
+// the coherence-protocol transaction counts by sharing class. All
+// timestamps are virtual nanoseconds — pure functions of the
+// experiment's inputs — so two runs of the same experiment produce
+// byte-identical exports regardless of host scheduling or parallelism.
+//
+// Two exporters are provided: WriteChrome renders Chrome trace_event
+// JSON (viewable in Perfetto / chrome://tracing, one track per simulated
+// processor), and Trace.WriteMetrics renders a flat machine-readable
+// metrics map (per-phase breakdowns, traffic by class, cache/TLB rates).
+//
+// The package deliberately imports nothing from the simulator so every
+// layer (machine, mpi, shmem, ccsas) can emit events without cycles.
+package trace
+
+import "fmt"
+
+// EventKind labels one typed event on a processor's track.
+type EventKind uint8
+
+const (
+	// EvSend is an explicit message send (MPI).
+	EvSend EventKind = iota
+	// EvRecv is an explicit message receive (MPI).
+	EvRecv
+	// EvPut is a one-sided put (SHMEM).
+	EvPut
+	// EvGet is a one-sided get (SHMEM).
+	EvGet
+	// EvFlowStall is a sender blocked on a full flow-control window.
+	EvFlowStall
+	// EvMsgWait is a receiver (or flag waiter) blocked until data is
+	// available.
+	EvMsgWait
+	// EvBarrier is one barrier episode (arrival to release).
+	EvBarrier
+
+	numEventKinds
+)
+
+// String returns the exporter name of the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvSend:
+		return "send"
+	case EvRecv:
+		return "recv"
+	case EvPut:
+		return "put"
+	case EvGet:
+		return "get"
+	case EvFlowStall:
+		return "flow-stall"
+	case EvMsgWait:
+		return "msg-wait"
+	case EvBarrier:
+		return "barrier"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// TxClass classifies one coherence-protocol transaction. The first five
+// values mirror the machine layer's sharing classes (same order), with
+// Writeback appended for dirty evictions.
+type TxClass uint8
+
+const (
+	TxPrivate TxClass = iota
+	TxRemoteProduced
+	TxSharedRead
+	TxConflictWrite
+	TxDirtyElsewhere
+	TxWriteback
+
+	// NumTxClasses is the number of transaction classes.
+	NumTxClasses
+)
+
+// String returns the exporter name of the class.
+func (c TxClass) String() string {
+	switch c {
+	case TxPrivate:
+		return "private"
+	case TxRemoteProduced:
+		return "remote-produced"
+	case TxSharedRead:
+		return "shared-read"
+	case TxConflictWrite:
+		return "conflict-write"
+	case TxDirtyElsewhere:
+		return "dirty-elsewhere"
+	case TxWriteback:
+		return "writeback"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Event is one typed occurrence on a processor's track. Dur == 0 marks
+// an instantaneous event; Dur > 0 covers [Time, Time+Dur).
+type Event struct {
+	Kind EventKind
+	// Time is the event start, virtual nanoseconds.
+	Time float64
+	// Dur is the event duration, virtual nanoseconds (0 for instants).
+	Dur float64
+	// Peer is the other processor involved (-1 when not applicable).
+	Peer int
+	// Bytes is the payload size moved, when applicable.
+	Bytes int64
+}
+
+// Span is one phase interval on a processor's track.
+type Span struct {
+	// Name is the phase label the program declared.
+	Name string
+	// Start and End are virtual nanoseconds.
+	Start, End float64
+}
+
+// ProcTrace is one simulated processor's event stream. All mutating
+// methods must be called only from the goroutine running that processor
+// (the same discipline the machine layer imposes on Proc), so no locks
+// are needed and event order is the processor's deterministic program
+// order.
+type ProcTrace struct {
+	// ID is the simulated processor number.
+	ID int
+	// Spans are the phase intervals, in emission order.
+	Spans []Span
+	// Events are the typed events, in emission order.
+	Events []Event
+	// Tx counts coherence-protocol transactions by class.
+	Tx [NumTxClasses]int64
+
+	open bool // a span is currently open (the last element of Spans)
+}
+
+// BeginSpan opens a phase span at time t, closing any open span first.
+func (pt *ProcTrace) BeginSpan(name string, t float64) {
+	pt.CloseSpan(t)
+	pt.Spans = append(pt.Spans, Span{Name: name, Start: t, End: t})
+	pt.open = true
+}
+
+// CloseSpan closes the open span (if any) at time t.
+func (pt *ProcTrace) CloseSpan(t float64) {
+	if pt.open {
+		pt.Spans[len(pt.Spans)-1].End = t
+		pt.open = false
+	}
+}
+
+// Emit appends one typed event.
+func (pt *ProcTrace) Emit(kind EventKind, time, dur float64, peer int, bytes int64) {
+	pt.Events = append(pt.Events, Event{Kind: kind, Time: time, Dur: dur, Peer: peer, Bytes: bytes})
+}
+
+// CountTx counts one protocol transaction of the given class.
+func (pt *ProcTrace) CountTx(c TxClass) { pt.Tx[c]++ }
+
+// Trace is one run's full event trace plus its flat metrics map.
+type Trace struct {
+	// Label names the traced run (e.g. "radix/shmem n=65536 p=16").
+	Label string
+	// TimeNs is the run's simulated wall time.
+	TimeNs float64
+	// Procs holds one track per simulated processor, ordered by ID.
+	Procs []*ProcTrace
+
+	metrics map[string]float64
+}
+
+// New builds an empty trace with procs tracks.
+func New(procs int) *Trace {
+	t := &Trace{Procs: make([]*ProcTrace, procs), metrics: make(map[string]float64)}
+	for i := range t.Procs {
+		t.Procs[i] = &ProcTrace{ID: i}
+	}
+	return t
+}
+
+// AddMetric sets one flat metric. The machine layer fills the standard
+// keys at run finalization; callers may add their own.
+func (t *Trace) AddMetric(key string, v float64) {
+	if t.metrics == nil {
+		t.metrics = make(map[string]float64)
+	}
+	t.metrics[key] = v
+}
+
+// Metric returns one flat metric value (0 when absent; use Metrics to
+// distinguish).
+func (t *Trace) Metric(key string) float64 { return t.metrics[key] }
+
+// Metrics returns a copy of the flat metrics map.
+func (t *Trace) Metrics() map[string]float64 {
+	out := make(map[string]float64, len(t.metrics))
+	for k, v := range t.metrics {
+		out[k] = v
+	}
+	return out
+}
+
+// EventCount returns the total number of typed events across all tracks.
+func (t *Trace) EventCount() int {
+	n := 0
+	for _, pt := range t.Procs {
+		n += len(pt.Events)
+	}
+	return n
+}
+
+// SpanCount returns the total number of phase spans across all tracks.
+func (t *Trace) SpanCount() int {
+	n := 0
+	for _, pt := range t.Procs {
+		n += len(pt.Spans)
+	}
+	return n
+}
+
+// TxTotals sums per-class transaction counts across processors.
+func (t *Trace) TxTotals() [NumTxClasses]int64 {
+	var sum [NumTxClasses]int64
+	for _, pt := range t.Procs {
+		for c, n := range pt.Tx {
+			sum[c] += n
+		}
+	}
+	return sum
+}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/shmem"
 	"repro/internal/sorts"
+	"repro/internal/trace"
 )
 
 // Algorithm selects the sorting algorithm.
@@ -140,6 +141,15 @@ type Experiment struct {
 	// Ablation flags (see DESIGN.md §4).
 	FlatMemory   bool
 	NoContention bool
+	// Trace records a deterministic virtual-time event trace of the run
+	// (see DESIGN.md §7); the trace is attached to the Outcome.
+	Trace bool
+}
+
+// Label is the canonical human-readable name of the experiment, used to
+// label traces and figure rows.
+func (e Experiment) Label() string {
+	return fmt.Sprintf("%s/%s n=%d p=%d r=%d", e.Algorithm, e.Model, e.N, e.Procs, e.Radix)
 }
 
 // MachineConfigFor returns the machine configuration the harness uses
@@ -180,6 +190,10 @@ type Outcome struct {
 	Verified bool
 }
 
+// Trace returns the run's virtual-time event trace, or nil when the
+// experiment was not run with Trace set.
+func (o *Outcome) Trace() *trace.Trace { return o.Result.Run.Trace }
+
 // Breakdowns returns the per-processor BUSY/LMEM/RMEM/SYNC split.
 func (o *Outcome) Breakdowns() []machine.Breakdown {
 	out := make([]machine.Breakdown, len(o.Result.Run.PerProc))
@@ -213,6 +227,9 @@ func Run(e Experiment) (*Outcome, error) {
 	m, err := machine.New(MachineConfigFor(e))
 	if err != nil {
 		return nil, err
+	}
+	if e.Trace {
+		m.EnableTracing()
 	}
 	cfg := sorts.Config{Radix: e.Radix}
 	switch e.Model {
@@ -261,6 +278,9 @@ func Run(e Experiment) (*Outcome, error) {
 	}
 	if err := verifySorted(in, res.Sorted); err != nil {
 		return nil, fmt.Errorf("repro: %s/%s output invalid: %w", e.Algorithm, e.Model, err)
+	}
+	if tr := res.Run.Trace; tr != nil {
+		tr.Label = e.Label()
 	}
 	return &Outcome{Experiment: e, Result: res, TimeNs: res.TimeNs(), Verified: true}, nil
 }

@@ -1,0 +1,196 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/keys"
+)
+
+// The paper-shape regression suite. Each check encodes one qualitative
+// target from DESIGN.md §3 / EXPERIMENTS.md as an executable assertion
+// on a reduced grid, parameterized by an experiment modifier so the
+// ablation test below can prove the checks actually depend on the
+// memory-system model: under the `sweep -kind flatmem` configuration
+// (Experiment.FlatMemory — uniform memory, no coherence) at least one
+// target must demonstrably fail, guarding against the paper's effects
+// silently disappearing from the simulator.
+
+// shapeCheck is one named, self-contained shape target.
+type shapeCheck struct {
+	name  string
+	check func(mod func(*Experiment)) error
+}
+
+// shapeRun executes one experiment with the modifier applied.
+func shapeRun(e Experiment, mod func(*Experiment)) (*Outcome, error) {
+	if e.Dist == 0 {
+		e.Dist = keys.Gauss
+	}
+	if e.Radix == 0 {
+		e.Radix = 8
+	}
+	mod(&e)
+	return Run(e)
+}
+
+// shapeChecks is the suite. Grid kept small: classes 1M-16M (scaled),
+// 16/32 processors.
+var shapeChecks = []shapeCheck{
+	{
+		// Figure 3 / Table 3: SHMEM is the best large-class radix model;
+		// MPI trails it (higher SYNC from send/receive handshakes).
+		name: "radix SHMEM <= MPI at the 16M class",
+		check: func(mod func(*Experiment)) error {
+			n := SizeClasses[2].ScaledN
+			shm, err := shapeRun(Experiment{Algorithm: Radix, Model: SHMEM, N: n, Procs: 16}, mod)
+			if err != nil {
+				return err
+			}
+			mp, err := shapeRun(Experiment{Algorithm: Radix, Model: MPI, N: n, Procs: 16}, mod)
+			if err != nil {
+				return err
+			}
+			if shm.TimeNs > mp.TimeNs {
+				return fmt.Errorf("SHMEM %.0fns > MPI %.0fns", shm.TimeNs, mp.TimeNs)
+			}
+			return nil
+		},
+	},
+	{
+		// Figure 1 / §4.2: the authors' direct-copy MPI beats the staged
+		// vendor library for radix sort — by a wide margin.
+		name: "direct MPI faster than staged for radix",
+		check: func(mod func(*Experiment)) error {
+			n := SizeClasses[1].ScaledN
+			direct, err := shapeRun(Experiment{Algorithm: Radix, Model: MPI, N: n, Procs: 16}, mod)
+			if err != nil {
+				return err
+			}
+			staged, err := shapeRun(Experiment{Algorithm: Radix, Model: MPISGI, N: n, Procs: 16}, mod)
+			if err != nil {
+				return err
+			}
+			if direct.TimeNs >= staged.TimeNs {
+				return fmt.Errorf("direct %.0fns >= staged %.0fns", direct.TimeNs, staged.TimeNs)
+			}
+			return nil
+		},
+	},
+	{
+		// §4.4: below the keys/proc crossover (paper 64K, scaled 4K),
+		// sample sort beats radix sort; above it, radix wins. Each
+		// algorithm competes at its best model+radix on the reduced grid.
+		name: "sample beats radix below the keys/proc crossover",
+		check: func(mod func(*Experiment)) error {
+			bestOf := func(alg Algorithm, n, procs int) (float64, error) {
+				best := -1.0
+				for _, mo := range Models(alg) {
+					if mo == MPISGI {
+						continue
+					}
+					for _, r := range []int{8, 11} {
+						out, err := shapeRun(Experiment{Algorithm: alg, Model: mo, N: n, Procs: procs, Radix: r}, mod)
+						if err != nil {
+							return 0, err
+						}
+						if best < 0 || out.TimeNs < best {
+							best = out.TimeNs
+						}
+					}
+				}
+				return best, nil
+			}
+			// 1M class at 32P: 2K keys/proc — sample territory.
+			small := SizeClasses[0].ScaledN
+			radixSmall, err := bestOf(Radix, small, 32)
+			if err != nil {
+				return err
+			}
+			sampleSmall, err := bestOf(Sample, small, 32)
+			if err != nil {
+				return err
+			}
+			if sampleSmall >= radixSmall {
+				return fmt.Errorf("2K keys/proc: sample %.0fns >= radix %.0fns", sampleSmall, radixSmall)
+			}
+			// 16M class at 16P: 64K keys/proc — radix territory.
+			big := SizeClasses[2].ScaledN
+			radixBig, err := bestOf(Radix, big, 16)
+			if err != nil {
+				return err
+			}
+			sampleBig, err := bestOf(Sample, big, 16)
+			if err != nil {
+				return err
+			}
+			if radixBig >= sampleBig {
+				return fmt.Errorf("64K keys/proc: radix %.0fns >= sample %.0fns", radixBig, sampleBig)
+			}
+			return nil
+		},
+	},
+	{
+		// Figure 4: the original scattered-write CC-SAS radix is
+		// MEM-dominated at the largest class of the reduced grid — its
+		// memory stall time exceeds both BUSY and SYNC. Asserted on the
+		// new trace metrics.
+		name: "original CC-SAS radix MEM-dominated at scale",
+		check: func(mod func(*Experiment)) error {
+			n := SizeClasses[2].ScaledN
+			e := Experiment{Algorithm: Radix, Model: CCSAS, N: n, Procs: 16, Trace: true}
+			out, err := shapeRun(e, mod)
+			if err != nil {
+				return err
+			}
+			tr := out.Trace()
+			if tr == nil {
+				return fmt.Errorf("no trace attached")
+			}
+			m := tr.Metrics()
+			mem := m["breakdown.lmem_ns"] + m["breakdown.rmem_ns"]
+			busy := m["breakdown.busy_ns"]
+			sync := m["breakdown.sync_ns"]
+			if mem <= busy {
+				return fmt.Errorf("MEM %.0fns <= BUSY %.0fns", mem, busy)
+			}
+			if mem <= sync {
+				return fmt.Errorf("MEM %.0fns <= SYNC %.0fns", mem, sync)
+			}
+			return nil
+		},
+	},
+}
+
+// TestShapeTargets runs the full suite on the real machine model: every
+// target must hold.
+func TestShapeTargets(t *testing.T) {
+	for _, sc := range shapeChecks {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			t.Parallel()
+			if err := sc.check(func(*Experiment) {}); err != nil {
+				t.Errorf("shape target violated: %v", err)
+			}
+		})
+	}
+}
+
+// TestShapeTargetsFailUnderFlatMemory proves the suite has teeth: under
+// the flat-memory ablation (`sweep -kind flatmem`: uniform miss cost, no
+// coherence protocol, no NUMA) at least one paper-shape target must
+// fail. If everything still passes, the shape suite is not actually
+// sensitive to the memory-system effects the paper is about.
+func TestShapeTargetsFailUnderFlatMemory(t *testing.T) {
+	flat := func(e *Experiment) { e.FlatMemory = true }
+	var failed []string
+	for _, sc := range shapeChecks {
+		if err := sc.check(flat); err != nil {
+			failed = append(failed, fmt.Sprintf("%s (%v)", sc.name, err))
+		}
+	}
+	if len(failed) == 0 {
+		t.Fatal("every shape target still passes under the flatmem ablation; the suite does not depend on the memory model")
+	}
+	t.Logf("flatmem ablation breaks %d/%d shape targets: %v", len(failed), len(shapeChecks), failed)
+}
