@@ -6,7 +6,11 @@
 //
 //	paperfigs [-exp all|table1|fig1|...|table23] [-sizes 1M,4M,16M]
 //	          [-procs 16,32,64] [-seed N] [-j N] [-benchjson] [-v]
-//	          [-trace out.json]
+//	          [-trace out.json] [-cpuprofile out.pprof]
+//
+// -cpuprofile writes a pprof CPU profile of the run; refreshing
+// default.pgo from a representative grid keeps the committed PGO profile
+// honest (see DESIGN.md §8).
 //
 // -trace records a virtual-time event trace of every experiment cell and
 // writes them all to one Chrome trace_event JSON file (one Perfetto
@@ -34,6 +38,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -149,10 +154,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 		benchjson = fs.Bool("benchjson", false, "write per-figure wall-clock/simulated metrics to -benchout")
 		benchout  = fs.String("benchout", "BENCH_paperfigs.json", "output path for -benchjson")
 		traceTo   = fs.String("trace", "", "write every cell's event trace to this Chrome trace_event JSON file")
+		cpuprof   = fs.String("cpuprofile", "", "write a CPU profile to this file (feeds the default.pgo PGO profile)")
 		verbose   = fs.Bool("v", false, "print one line per completed run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())

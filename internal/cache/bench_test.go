@@ -1,0 +1,76 @@
+package cache
+
+import "testing"
+
+// Benchmark geometries mirror the scaled Origin2000 preset the
+// experiments run on: 256 KB, 2-way, 128-byte lines; 64-entry TLB with
+// 1 KB pages.
+func benchCache() *Cache {
+	return New(Config{Size: 256 << 10, LineSize: 128, Ways: 2})
+}
+
+// BenchmarkAccessHit measures the cache hit path on a resident line
+// rotation wide enough to defeat the line memo (the common probe case).
+func BenchmarkAccessHit(b *testing.B) {
+	c := benchCache()
+	const lines = 64
+	for i := 0; i < lines; i++ {
+		c.Access(Addr(i*128), false)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(Addr((i%lines)*128), false)
+	}
+}
+
+// BenchmarkAccessMemoHit measures the memoized hit path (repeated
+// touches of one line, as in an element-granular sequential sweep).
+func BenchmarkAccessMemoHit(b *testing.B) {
+	c := benchCache()
+	c.Access(0, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(64, false)
+	}
+}
+
+// BenchmarkAccessMiss measures the miss/fill path with dirty evictions,
+// using a scattered write pattern much larger than the cache (the radix
+// permutation phase).
+func BenchmarkAccessMiss(b *testing.B) {
+	c := benchCache()
+	// Footprint 16x the cache so nearly every access misses.
+	const span = 16 * (256 << 10)
+	x := uint64(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		c.Access(Addr(x%span), true)
+	}
+}
+
+// BenchmarkTLBHit measures a resident-page translation (rotation wide
+// enough to defeat the translation memo).
+func BenchmarkTLBHit(b *testing.B) {
+	t := NewTLB(TLBConfig{Entries: 64, PageSize: 1 << 10})
+	for i := 0; i < 32; i++ {
+		t.Access(Addr(i << 10))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Access(Addr((i % 32) << 10))
+	}
+}
+
+// BenchmarkTLBMiss measures the refill path: scattered pages spanning
+// far more than the TLB's 64 entries, as in the permutation phase.
+func BenchmarkTLBMiss(b *testing.B) {
+	t := NewTLB(TLBConfig{Entries: 64, PageSize: 1 << 10})
+	const pages = 1024
+	x := uint64(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		t.Access(Addr((x % pages) << 10))
+	}
+}

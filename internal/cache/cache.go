@@ -59,7 +59,9 @@ type AccessResult struct {
 	WriteBack bool
 }
 
-// Stats accumulates cache event counts.
+// Stats accumulates cache event counts. Hits is derived (every access
+// either hits or misses), so the hot path maintains only two counters;
+// Cache.Stats fills Hits in.
 type Stats struct {
 	Accesses   uint64
 	Hits       uint64
@@ -75,24 +77,79 @@ func (s Stats) MissRate() float64 {
 	return float64(s.Misses) / float64(s.Accesses)
 }
 
+// A line packs its state into two words so the probe loop does one load
+// and one masked compare per way, and the whole array stays a third
+// smaller in host memory than the naive struct (the lines array is the
+// hottest data structure in the simulator).
+//
+// meta layout: bit 0 = valid, bit 1 = dirty, bits 2.. = tag. Simulated
+// addresses come from the address space allocator, which hands out a few
+// megabytes starting at the page size, so tags are far below the 62 bits
+// available.
 type line struct {
-	tag   uint64
-	valid bool
-	dirty bool
+	meta uint64
 	// lru is a per-set sequence number; the smallest is the LRU victim.
+	// Valid lines always have lru >= 1 (the tick starts at 1), so 0
+	// doubles as the "invalid way" marker in victim selection.
 	lru uint64
 }
 
+const (
+	lineValid  = 1 << 0
+	lineDirty  = 1 << 1
+	lineTagLSB = 2
+)
+
 // Cache is a set-associative write-back cache model.
+//
+// The LRU sequence number handed to lines is stats.Accesses: it
+// increments exactly once per Access, so it is the same sequence the
+// former dedicated tick counter produced, with one fewer counter update
+// on the hot path.
 type Cache struct {
 	cfg       Config
 	sets      int
 	lineShift uint
-	setMask   uint64
-	lines     []line // sets*ways, set-major
-	tick      uint64
-	stats     Stats
+	// tagShift is log2(sets), precomputed at construction: every access
+	// needs it to split a line number into set index and tag, and
+	// recomputing it with a loop per access dominated the simulator's
+	// host-time profile (ISSUE 4).
+	tagShift uint
+	setMask  uint64
+	// twoWay selects the unrolled probe for the ubiquitous 2-way
+	// geometry (the Origin2000's L2); other associativities take the
+	// general loop.
+	twoWay bool
+	lines  []line // sets*ways, set-major
+	stats  Stats
+
+	// Two-entry line memo: pointer and line number of the two most
+	// recently touched resident lines, MRU first. Element-granular
+	// sweeps touch the same line dozens of times in a row, and the
+	// sorts' permutation passes alternate a sequential load with a
+	// scattered store — a pattern that defeats a one-entry memo but is
+	// exactly captured by two. (A third entry was measured and lost:
+	// unlike the TLB, whose page memo captures the permutation pass's
+	// three-stream rotation, the cache-line streams churn too fast for
+	// the extra rotation work to pay for the probes it saves.) An
+	// entry is empty when its line number is memoNone (simulated
+	// addresses are far too small to reach it), which keeps the
+	// hot-path test to a single compare; holding a *line rather than
+	// an index makes the memoized hit free of bounds checks. The memo
+	// is maintained so it can never name an evicted line (fills
+	// repoint or clear it, Invalidate and Flush clear it), and a memo
+	// hit performs the same stats/LRU/dirty updates as the probe it
+	// skips, so behavior is bit-identical.
+	lastLineNum uint64
+	prevLineNum uint64
+	lastLine    *line
+	prevLine    *line
 }
+
+// memoNone marks an empty memo entry: no simulated address shifts down
+// to this line or page number (the address space allocates a few
+// megabytes upward from the page size).
+const memoNone = ^uint64(0)
 
 // New builds a cache with the given geometry. It panics if the
 // configuration is invalid; geometries come from static machine presets.
@@ -106,11 +163,15 @@ func New(cfg Config) *Cache {
 		shift++
 	}
 	return &Cache{
-		cfg:       cfg,
-		sets:      sets,
-		lineShift: shift,
-		setMask:   uint64(sets - 1),
-		lines:     make([]line, sets*cfg.Ways),
+		cfg:         cfg,
+		sets:        sets,
+		lineShift:   shift,
+		tagShift:    uint(log2(sets)),
+		setMask:     uint64(sets - 1),
+		twoWay:      cfg.Ways == 2,
+		lines:       make([]line, sets*cfg.Ways),
+		lastLineNum: memoNone,
+		prevLineNum: memoNone,
 	}
 }
 
@@ -121,7 +182,11 @@ func (c *Cache) Config() Config { return c.cfg }
 func (c *Cache) Sets() int { return c.sets }
 
 // Stats returns a snapshot of the event counters.
-func (c *Cache) Stats() Stats { return c.stats }
+func (c *Cache) Stats() Stats {
+	s := c.stats
+	s.Hits = s.Accesses - s.Misses
+	return s
+}
 
 // LineAddr returns the line-aligned address containing a.
 func (c *Cache) LineAddr(a Addr) Addr {
@@ -130,65 +195,150 @@ func (c *Cache) LineAddr(a Addr) Addr {
 
 // Access simulates one access to address a. write marks the line dirty.
 // The returned result reports hit/miss and any dirty eviction.
+//
+// The function is split so the memoized-hit path stays within the
+// compiler's inlining budget; accessSlow carries the probe and fill.
+// accessHit is the shared hit result; returning a prebuilt value keeps
+// the fast path within the inlining budget.
+var accessHit = AccessResult{Hit: true}
+
 func (c *Cache) Access(a Addr, write bool) AccessResult {
-	c.tick++
 	c.stats.Accesses++
 	lineNum := uint64(a) >> c.lineShift
-	set := int(lineNum & c.setMask)
-	tag := lineNum >> uint(log2(c.sets))
-	base := set * c.cfg.Ways
+	if lineNum != c.lastLineNum {
+		return c.accessSlow(lineNum, write)
+	}
+	ln := c.lastLine
+	ln.lru = c.stats.Accesses
+	if write {
+		ln.meta |= lineDirty
+	}
+	return accessHit
+}
 
-	// Hit path.
-	for i := 0; i < c.cfg.Ways; i++ {
-		ln := &c.lines[base+i]
-		if ln.valid && ln.tag == tag {
-			ln.lru = c.tick
-			if write {
-				ln.dirty = true
-			}
-			c.stats.Hits++
-			return AccessResult{Hit: true}
+// accessSlow handles an access that missed the MRU memo entry: second
+// memo entry, then set probe, then fill.
+func (c *Cache) accessSlow(lineNum uint64, write bool) AccessResult {
+	tick := c.stats.Accesses
+	if lineNum == c.prevLineNum {
+		ln := c.prevLine
+		ln.lru = tick
+		if write {
+			ln.meta |= lineDirty
 		}
+		// Promote to MRU; old MRU becomes the second entry.
+		c.lastLineNum, c.lastLine, c.prevLineNum, c.prevLine =
+			lineNum, ln, c.lastLineNum, c.lastLine
+		return AccessResult{Hit: true}
+	}
+	set := int(lineNum & c.setMask)
+	tag := lineNum >> c.tagShift
+	// want is the meta word of a valid, clean line with this tag; masking
+	// the dirty bit out of a candidate makes the hit test one compare.
+	want := tag<<lineTagLSB | lineValid
+
+	var hit, victim *line
+	if c.twoWay {
+		// Unrolled probe for the 2-way geometry every machine preset
+		// uses. Victim choice matches the general loop: first invalid
+		// way (way 0 preferred), else the lower LRU sequence number.
+		base := set * 2
+		s := c.lines[base : base+2 : base+2]
+		l0, l1 := &s[0], &s[1]
+		m0, m1 := l0.meta, l1.meta
+		switch {
+		case m0&^uint64(lineDirty) == want:
+			hit = l0
+		case m1&^uint64(lineDirty) == want:
+			hit = l1
+		case m0&lineValid == 0:
+			victim = l0
+		case m1&lineValid == 0:
+			victim = l1
+		case l1.lru < l0.lru:
+			victim = l1
+		default:
+			victim = l0
+		}
+	} else {
+		hit, victim = c.probe(set, want)
+	}
+	if hit != nil {
+		hit.lru = tick
+		if write {
+			hit.meta |= lineDirty
+		}
+		c.prevLineNum, c.prevLine = c.lastLineNum, c.lastLine
+		c.lastLineNum, c.lastLine = lineNum, hit
+		return AccessResult{Hit: true}
 	}
 
-	// Miss: pick an invalid way, else the LRU way.
+	// Miss: fill the victim way.
 	c.stats.Misses++
-	victim := -1
+	ln := victim
+	res := AccessResult{}
+	if ln.meta&(lineValid|lineDirty) == lineValid|lineDirty {
+		res.WriteBack = true
+		res.WritebackAddr = c.reconstruct(ln.meta>>lineTagLSB, set)
+		c.stats.Writebacks++
+	}
+	nm := want
+	if write {
+		nm |= lineDirty
+	}
+	ln.meta = nm
+	ln.lru = tick
+	// Fills update the memo, so it can never name an evicted line: the
+	// only way a resident line leaves the cache is a fill into its slot
+	// (which repoints the memo here, and clears the second entry if it
+	// named the victim slot) or Invalidate/Flush (which clear it).
+	c.prevLineNum, c.prevLine = c.lastLineNum, c.lastLine
+	c.lastLineNum, c.lastLine = lineNum, ln
+	if c.prevLine == ln {
+		c.prevLineNum = memoNone
+	}
+	return res
+}
+
+// probe is the general-associativity one-pass hit/victim scan: it
+// returns the hitting line, or the victim (first invalid way, else the
+// lowest-LRU way). Valid lines always have lru >= 1, so oldest == 0
+// marks an invalid-way victim that no valid line may displace.
+func (c *Cache) probe(set int, want uint64) (hit, victim *line) {
+	ways := c.cfg.Ways
+	base := set * ways
+	s := c.lines[base : base+ways : base+ways]
 	var oldest uint64
-	for i := 0; i < c.cfg.Ways; i++ {
-		ln := &c.lines[base+i]
-		if !ln.valid {
-			victim = i
-			break
+	for i := range s {
+		ln := &s[i]
+		m := ln.meta
+		if m&lineValid == 0 {
+			if victim == nil || oldest != 0 {
+				victim = ln
+				oldest = 0
+			}
+			continue
 		}
-		if victim == -1 || ln.lru < oldest {
-			victim = i
+		if m&^uint64(lineDirty) == want {
+			return ln, nil
+		}
+		if victim == nil || (oldest != 0 && ln.lru < oldest) {
+			victim = ln
 			oldest = ln.lru
 		}
 	}
-	ln := &c.lines[base+victim]
-	res := AccessResult{}
-	if ln.valid && ln.dirty {
-		res.WriteBack = true
-		res.WritebackAddr = c.reconstruct(ln.tag, set)
-		c.stats.Writebacks++
-	}
-	ln.valid = true
-	ln.dirty = write
-	ln.tag = tag
-	ln.lru = c.tick
-	return res
+	return nil, victim
 }
 
 // Contains reports whether the line holding a is currently cached.
 func (c *Cache) Contains(a Addr) bool {
 	lineNum := uint64(a) >> c.lineShift
 	set := int(lineNum & c.setMask)
-	tag := lineNum >> uint(log2(c.sets))
+	tag := lineNum >> c.tagShift
+	want := tag<<lineTagLSB | lineValid
 	base := set * c.cfg.Ways
 	for i := 0; i < c.cfg.Ways; i++ {
-		ln := &c.lines[base+i]
-		if ln.valid && ln.tag == tag {
+		if c.lines[base+i].meta&^uint64(lineDirty) == want {
 			return true
 		}
 	}
@@ -200,14 +350,20 @@ func (c *Cache) Contains(a Addr) bool {
 func (c *Cache) Invalidate(a Addr) (present, dirty bool) {
 	lineNum := uint64(a) >> c.lineShift
 	set := int(lineNum & c.setMask)
-	tag := lineNum >> uint(log2(c.sets))
+	tag := lineNum >> c.tagShift
+	want := tag<<lineTagLSB | lineValid
 	base := set * c.cfg.Ways
 	for i := 0; i < c.cfg.Ways; i++ {
 		ln := &c.lines[base+i]
-		if ln.valid && ln.tag == tag {
-			d := ln.dirty
-			ln.valid = false
-			ln.dirty = false
+		if ln.meta&^uint64(lineDirty) == want {
+			d := ln.meta&lineDirty != 0
+			ln.meta = 0
+			if c.lastLine == ln {
+				c.lastLineNum = memoNone
+			}
+			if c.prevLine == ln {
+				c.prevLineNum = memoNone
+			}
 			return true, d
 		}
 	}
@@ -219,16 +375,18 @@ func (c *Cache) Invalidate(a Addr) (present, dirty bool) {
 func (c *Cache) Flush() int {
 	dirty := 0
 	for i := range c.lines {
-		if c.lines[i].valid && c.lines[i].dirty {
+		if c.lines[i].meta&(lineValid|lineDirty) == lineValid|lineDirty {
 			dirty++
 		}
 		c.lines[i] = line{}
 	}
+	c.lastLineNum = memoNone
+	c.prevLineNum = memoNone
 	return dirty
 }
 
 func (c *Cache) reconstruct(tag uint64, set int) Addr {
-	lineNum := tag<<uint(log2(c.sets)) | uint64(set)
+	lineNum := tag<<c.tagShift | uint64(set)
 	return Addr(lineNum << c.lineShift)
 }
 

@@ -56,8 +56,14 @@ func TestTLBCapacityBound(t *testing.T) {
 	for p := 0; p < 100; p++ {
 		tlb.Access(Addr(p * 4096))
 	}
-	if len(tlb.entries) > 8 {
-		t.Errorf("TLB holds %d entries, cap is 8", len(tlb.entries))
+	resident := 0
+	for _, s := range tlb.slots {
+		if s != memoNone {
+			resident++
+		}
+	}
+	if resident > 8 || len(tlb.ring) > 8 {
+		t.Errorf("TLB holds %d entries (ring %d), cap is 8", resident, len(tlb.ring))
 	}
 }
 
@@ -103,5 +109,93 @@ func TestCacheMissRate(t *testing.T) {
 	s = Stats{Accesses: 4, Misses: 1}
 	if s.MissRate() != 0.25 {
 		t.Errorf("miss rate = %v, want 0.25", s.MissRate())
+	}
+}
+
+// refTLB is the original map-based FIFO TLB model, kept as a test oracle
+// for the open-addressing fast path: both must agree on every miss
+// decision and on the resident set, access by access.
+type refTLB struct {
+	entries map[uint64]bool
+	ring    []uint64
+	head    int
+	cap     int
+	shift   uint
+}
+
+func newRefTLB(cfg TLBConfig) *refTLB {
+	shift := uint(0)
+	for 1<<shift < cfg.PageSize {
+		shift++
+	}
+	return &refTLB{entries: make(map[uint64]bool), cap: cfg.Entries, shift: shift}
+}
+
+func (t *refTLB) access(a Addr) (miss bool) {
+	page := uint64(a) >> t.shift
+	if t.entries[page] {
+		return false
+	}
+	if len(t.ring) < t.cap {
+		t.ring = append(t.ring, page)
+	} else {
+		delete(t.entries, t.ring[t.head])
+		t.ring[t.head] = page
+		t.head = (t.head + 1) % t.cap
+	}
+	t.entries[page] = true
+	return true
+}
+
+// TestTLBMatchesMapReference drives the open-addressing TLB and the
+// legacy map model through identical pseudo-random access sequences and
+// requires identical miss decisions throughout.
+func TestTLBMatchesMapReference(t *testing.T) {
+	for _, entries := range []int{1, 2, 7, 64} {
+		cfg := TLBConfig{Entries: entries, PageSize: 1024}
+		tlb := NewTLB(cfg)
+		ref := newRefTLB(cfg)
+		state := uint64(12345)
+		for i := 0; i < 20000; i++ {
+			state = state*6364136223846793005 + 1442695040888963407
+			// Mix page-local reuse with far jumps over a 3*entries page
+			// working set (so evictions are constant).
+			a := Addr((state >> 33) % uint64(3*entries*1024))
+			got, want := tlb.Access(a), ref.access(a)
+			if got != want {
+				t.Fatalf("entries=%d access %d (addr %#x): miss=%v, reference says %v",
+					entries, i, a, got, want)
+			}
+		}
+		if tlb.Stats().Accesses != 20000 {
+			t.Errorf("accesses = %d, want 20000", tlb.Stats().Accesses)
+		}
+	}
+}
+
+// TestTLBAccessNEquivalence proves AccessN(a, n) leaves the TLB in the
+// same state, with the same stats, as n same-page Access calls.
+func TestTLBAccessNEquivalence(t *testing.T) {
+	cfg := TLBConfig{Entries: 4, PageSize: 1024}
+	bulk, serial := NewTLB(cfg), NewTLB(cfg)
+	state := uint64(99)
+	for i := 0; i < 5000; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		page := Addr(((state >> 40) % 16) * 1024)
+		n := uint64(state>>20) % 5
+		gotMiss := bulk.AccessN(page, n)
+		wantMiss := false
+		for k := uint64(0); k < n; k++ {
+			m := serial.Access(page + Addr(k*64)%1024)
+			if k == 0 {
+				wantMiss = m
+			}
+		}
+		if n > 0 && gotMiss != wantMiss {
+			t.Fatalf("step %d: AccessN miss=%v, serial first access miss=%v", i, gotMiss, wantMiss)
+		}
+	}
+	if bulk.Stats() != serial.Stats() {
+		t.Errorf("stats diverged: bulk %+v, serial %+v", bulk.Stats(), serial.Stats())
 	}
 }

@@ -14,8 +14,17 @@ type Array[T any] struct {
 	// Data is the backing slice; index i corresponds to address Addr(i).
 	Data []T
 
-	region   *memsys.Region
+	region *memsys.Region
+	// base caches region.Base() so the per-element address computation
+	// in Load/Store stays free of pointer chasing and inlines into the
+	// sorts' inner loops.
+	base     Addr
 	elemSize int
+}
+
+// newArray wraps a region in an n-element Array.
+func newArray[T any](r *memsys.Region, n, elemSize int) *Array[T] {
+	return &Array[T]{Data: make([]T, n), region: r, base: r.Base(), elemSize: elemSize}
 }
 
 // elemSizeOf returns the in-memory size of T.
@@ -31,7 +40,7 @@ func elemSizeOf[T any]() int {
 func NewArrayBlocked[T any](m *Machine, name string, n int) *Array[T] {
 	es := elemSizeOf[T]()
 	r := m.as.AllocBlocked(name, n*es, m.Procs())
-	return &Array[T]{Data: make([]T, n), region: r, elemSize: es}
+	return newArray[T](r, n, es)
 }
 
 // NewArrayRoundRobin allocates an n-element array with pages spread
@@ -40,7 +49,7 @@ func NewArrayBlocked[T any](m *Machine, name string, n int) *Array[T] {
 func NewArrayRoundRobin[T any](m *Machine, name string, n int) *Array[T] {
 	es := elemSizeOf[T]()
 	r := m.as.AllocRoundRobin(name, n*es)
-	return &Array[T]{Data: make([]T, n), region: r, elemSize: es}
+	return newArray[T](r, n, es)
 }
 
 // NewArrayOnProc allocates an n-element array homed entirely on the node
@@ -49,7 +58,7 @@ func NewArrayRoundRobin[T any](m *Machine, name string, n int) *Array[T] {
 func NewArrayOnProc[T any](m *Machine, name string, n, proc int) *Array[T] {
 	es := elemSizeOf[T]()
 	r := m.as.AllocOnNode(name, n*es, m.top.NodeOf(proc))
-	return &Array[T]{Data: make([]T, n), region: r, elemSize: es}
+	return newArray[T](r, n, es)
 }
 
 // NewArrayReserve allocates an address range for capElems elements homed
@@ -61,7 +70,7 @@ func NewArrayOnProc[T any](m *Machine, name string, n, proc int) *Array[T] {
 func NewArrayReserve[T any](m *Machine, name string, capElems, proc int) *Array[T] {
 	es := elemSizeOf[T]()
 	r := m.as.AllocOnNode(name, capElems*es, m.top.NodeOf(proc))
-	return &Array[T]{Data: nil, region: r, elemSize: es}
+	return &Array[T]{Data: nil, region: r, base: r.Base(), elemSize: es}
 }
 
 // Grow extends Data to hold at least n elements (bounded by the reserved
@@ -86,7 +95,7 @@ func (a *Array[T]) Len() int { return len(a.Data) }
 
 // Addr returns the simulated address of element i.
 func (a *Array[T]) Addr(i int) Addr {
-	return a.region.Addr(i * a.elemSize)
+	return a.base + Addr(i*a.elemSize)
 }
 
 // ElemSize returns the element size in bytes.

@@ -26,7 +26,10 @@ type Machine struct {
 	top   *topology.Topology
 	as    *memsys.AddressSpace
 	proto *coherence.Protocol
-	procs []*Proc
+	// prices memoizes every charge the protocol can produce for this
+	// topology (see pricing.go); proto remains the reference oracle.
+	prices *priceTable
+	procs  []*Proc
 
 	barrier *Barrier
 
@@ -54,6 +57,9 @@ func New(cfg Config) (*Machine, error) {
 		as:    as,
 		proto: coherence.NewProtocol(top, cfg.Coherence),
 	}
+	// Precompute the coherence pricing table before processors are
+	// built: each Proc caches its own row pointers.
+	m.prices = newPriceTable(top, m.proto, cfg.Coherence)
 	n := cfg.Topology.Processors
 	m.procs = make([]*Proc, n)
 	for i := 0; i < n; i++ {

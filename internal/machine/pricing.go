@@ -1,0 +1,125 @@
+package machine
+
+import (
+	"repro/internal/coherence"
+	"repro/internal/topology"
+)
+
+// This file implements the memoized coherence pricing table (ISSUE 4).
+//
+// Every charge missCharge ever computes is a pure function of a small
+// tuple — (Sharing class, read/write, requester node, home node) — plus
+// the run-constant topology and protocol parameters, so the whole price
+// matrix is computed once at Machine.New by calling the live
+// coherence.Protocol, and the per-miss hot path becomes one slice
+// lookup. coherence.Protocol remains the reference oracle:
+// TestPriceTableMatchesProtocol replays every entry against it.
+
+// priceEntry is one precomputed coherence charge.
+type priceEntry struct {
+	// latencyNs is the transaction's critical-path latency in
+	// nanoseconds, before miss-overlap division.
+	latencyNs float64
+	// trafficBytes is added to Traffic.RemoteBytes when remote is true.
+	trafficBytes int64
+	// remote selects chargeRemote (contention-scaled RMEM) vs
+	// chargeLocal (LMEM).
+	remote bool
+}
+
+// numPriceClasses is one row pair (read, write) per Sharing class.
+const numPriceClasses = 2 * (int(DirtyElsewhere) + 1)
+
+// priceClass maps (sharing class, write) to a row index.
+func priceClass(sh Sharing, write bool) int {
+	i := int(sh) * 2
+	if write {
+		i++
+	}
+	return i
+}
+
+// priceTable holds the precomputed charges for every (class, requester
+// node, home node) combination, plus the writeback matrix. It is
+// immutable after construction and shared by all processors.
+type priceTable struct {
+	nodes int
+	// miss[class][requester*nodes+home] prices one cache miss.
+	miss [numPriceClasses][]priceEntry
+	// writeback[owner*nodes+home] prices one dirty-line eviction
+	// (directory occupancy plus wire time; the round-trip latency is
+	// off the processor's critical path).
+	writeback []priceEntry
+}
+
+// newPriceTable builds the table by driving the live protocol engine
+// through every combination, so each stored float is bit-identical to
+// what the legacy per-miss computation produced.
+func newPriceTable(top *topology.Topology, proto *coherence.Protocol, params coherence.Params) *priceTable {
+	n := top.Nodes()
+	pt := &priceTable{nodes: n}
+	for c := range pt.miss {
+		pt.miss[c] = make([]priceEntry, n*n)
+	}
+	pt.writeback = make([]priceEntry, n*n)
+	avg := top.AverageReadLatency()
+	for req := 0; req < n; req++ {
+		for home := 0; home < n; home++ {
+			i := req*n + home
+			remote := home != req
+			set := func(sh Sharing, write bool, res coherence.Result) {
+				pt.miss[priceClass(sh, write)][i] = priceEntry{
+					latencyNs:    res.Latency,
+					trafficBytes: int64(res.TrafficBytes),
+					remote:       remote,
+				}
+			}
+			set(Private, false, proto.Read(req, home, -1, coherence.Unowned, nil))
+			set(Private, true, proto.Write(req, home, -1, coherence.Unowned, nil))
+			set(RemoteProduced, false, proto.Read(req, home, home, coherence.Exclusive, nil))
+			set(RemoteProduced, true, proto.Write(req, home, home, coherence.Exclusive, nil))
+			set(SharedRead, false, proto.Read(req, home, -1, coherence.Shared, nil))
+			set(SharedRead, true, proto.Write(req, home, -1, coherence.Shared, []int{home}))
+			// missCharge prices ConflictWrite as an ownership transfer for
+			// loads and stores alike.
+			cw := proto.Write(req, home, home, coherence.Exclusive, nil)
+			set(ConflictWrite, false, cw)
+			set(ConflictWrite, true, cw)
+			// DirtyElsewhere: three-hop transaction whose owner legs run at
+			// the machine's average remote latency; remote-charged even when
+			// home is the local node. The arithmetic replicates the legacy
+			// missCharge expression term for term (float addition order
+			// matters for byte-identical results).
+			de := priceEntry{
+				latencyNs: top.ReadLatency(req, home) + params.DirOccupancy +
+					avg + avg + top.TransferTime(params.DataBytes),
+				trafficBytes: int64(2*params.CtrlBytes + 2*params.DataBytes),
+				remote:       true,
+			}
+			pt.miss[priceClass(DirtyElsewhere, false)][i] = de
+			pt.miss[priceClass(DirtyElsewhere, true)][i] = de
+			if !remote {
+				pt.writeback[i] = priceEntry{latencyNs: params.DirOccupancy}
+			} else {
+				wb := proto.Writeback(req, home)
+				pt.writeback[i] = priceEntry{
+					latencyNs:    params.DirOccupancy + top.TransferTime(wb.TrafficBytes),
+					trafficBytes: int64(wb.TrafficBytes),
+					remote:       true,
+				}
+			}
+		}
+	}
+	return pt
+}
+
+// missEntry returns the charge for one miss (test/inspection accessor;
+// the hot path indexes the rows directly).
+func (pt *priceTable) missEntry(sh Sharing, write bool, requester, home int) priceEntry {
+	return pt.miss[priceClass(sh, write)][requester*pt.nodes+home]
+}
+
+// writebackEntry returns the charge for one dirty eviction.
+func (pt *priceTable) writebackEntry(owner, home int) priceEntry {
+	return pt.writeback[owner*pt.nodes+home]
+}

@@ -1,0 +1,106 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/coherence"
+)
+
+// allSharings lists every Sharing class. The length check in
+// TestPriceTableMatchesProtocol ties it to numPriceClasses, so adding a
+// class without extending the pricing table (and this test) fails.
+var allSharings = []Sharing{Private, RemoteProduced, SharedRead, ConflictWrite, DirtyElsewhere}
+
+// TestPriceTableMatchesProtocol replays every pricing-table entry
+// against the live coherence.Protocol, reproducing the legacy
+// per-miss switch term for term. Comparisons are exact (==): the table
+// must charge bit-identical floats, or simulated virtual times drift.
+// It covers 100% of the Sharing classes and every (requester, home)
+// node pair at 1-, 4-, 16- and 64-processor topologies.
+//
+// Protocol.Upgrade has no pricing-table row because missCharge never
+// issued it: a store to SharedRead data is priced as a full Write with
+// the home as sharer (the row checked here), matching the legacy
+// switch.
+func TestPriceTableMatchesProtocol(t *testing.T) {
+	if len(allSharings)*2 != numPriceClasses {
+		t.Fatalf("allSharings covers %d rows, pricing table has %d",
+			len(allSharings)*2, numPriceClasses)
+	}
+	for _, procs := range []int{1, 4, 16, 64} {
+		m := testMachine(t, procs)
+		params := m.cfg.Coherence
+		top := m.top
+		proto := m.proto
+		n := top.Nodes()
+		avg := top.AverageReadLatency()
+		for req := 0; req < n; req++ {
+			for home := 0; home < n; home++ {
+				remote := home != req
+				for _, sh := range allSharings {
+					for _, write := range []bool{false, true} {
+						// The legacy missCharge transaction for this class.
+						var res coherence.Result
+						switch sh {
+						case Private:
+							if write {
+								res = proto.Write(req, home, -1, coherence.Unowned, nil)
+							} else {
+								res = proto.Read(req, home, -1, coherence.Unowned, nil)
+							}
+						case RemoteProduced:
+							if write {
+								res = proto.Write(req, home, home, coherence.Exclusive, nil)
+							} else {
+								res = proto.Read(req, home, home, coherence.Exclusive, nil)
+							}
+						case SharedRead:
+							if write {
+								res = proto.Write(req, home, -1, coherence.Shared, []int{home})
+							} else {
+								res = proto.Read(req, home, -1, coherence.Shared, nil)
+							}
+						case ConflictWrite:
+							res = proto.Write(req, home, home, coherence.Exclusive, nil)
+						case DirtyElsewhere:
+							res = coherence.Result{
+								Latency: top.ReadLatency(req, home) + params.DirOccupancy +
+									avg + avg + top.TransferTime(params.DataBytes),
+								TrafficBytes: 2*params.CtrlBytes + 2*params.DataBytes,
+							}
+						}
+						wantRemote := remote || sh == DirtyElsewhere
+						e := m.prices.missEntry(sh, write, req, home)
+						if e.latencyNs != res.Latency {
+							t.Fatalf("procs=%d %v write=%v req=%d home=%d: latency %v, protocol %v",
+								procs, sh, write, req, home, e.latencyNs, res.Latency)
+						}
+						if e.remote != wantRemote {
+							t.Fatalf("procs=%d %v write=%v req=%d home=%d: remote=%v, want %v",
+								procs, sh, write, req, home, e.remote, wantRemote)
+						}
+						if wantRemote && e.trafficBytes != int64(res.TrafficBytes) {
+							t.Fatalf("procs=%d %v write=%v req=%d home=%d: traffic %d, protocol %d",
+								procs, sh, write, req, home, e.trafficBytes, res.TrafficBytes)
+						}
+					}
+				}
+				// Writeback row: legacy chargeWriteback arithmetic.
+				wbe := m.prices.writebackEntry(req, home)
+				if !remote {
+					if wbe.latencyNs != params.DirOccupancy || wbe.remote {
+						t.Fatalf("procs=%d writeback req=%d home=%d: got %+v, want local DirOccupancy",
+							procs, req, home, wbe)
+					}
+				} else {
+					wb := proto.Writeback(req, home)
+					wantLat := params.DirOccupancy + top.TransferTime(wb.TrafficBytes)
+					if wbe.latencyNs != wantLat || !wbe.remote || wbe.trafficBytes != int64(wb.TrafficBytes) {
+						t.Fatalf("procs=%d writeback req=%d home=%d: got %+v, want latency %v traffic %d",
+							procs, req, home, wbe, wantLat, wb.TrafficBytes)
+					}
+				}
+			}
+		}
+	}
+}

@@ -2,7 +2,6 @@ package machine
 
 import (
 	"repro/internal/cache"
-	"repro/internal/coherence"
 	"repro/internal/trace"
 )
 
@@ -49,6 +48,12 @@ type Proc struct {
 	cache *cache.Cache
 	tlb   *cache.TLB
 
+	// nodeRow is Node * nodes, the base index of this processor's rows
+	// in the machine's pricing table; wbRow is its writeback row slice.
+	// Both are immutable after construction (see pricing.go).
+	nodeRow int
+	wbRow   []priceEntry
+
 	clock float64 // virtual time, ns
 	stats ProcStats
 
@@ -69,12 +74,16 @@ type Proc struct {
 }
 
 func newProc(m *Machine, id int) *Proc {
+	node := m.top.NodeOf(id)
+	n := m.prices.nodes
 	return &Proc{
 		ID:         id,
-		Node:       m.top.NodeOf(id),
+		Node:       node,
 		m:          m,
 		cache:      cache.New(m.cfg.Cache),
 		tlb:        cache.NewTLB(m.cfg.TLB),
+		nodeRow:    node * n,
+		wbRow:      m.prices.writeback[node*n : (node+1)*n],
 		contention: 1,
 	}
 }
@@ -282,7 +291,6 @@ func (p *Proc) access(a Addr, write bool, sh Sharing, overlap float64) {
 
 // missCharge prices a cache miss according to the declared sharing class.
 func (p *Proc) missCharge(a Addr, write bool, sh Sharing, overlap float64) {
-	home := p.m.as.HomeOf(a)
 	cfg := &p.m.cfg
 	if cfg.FlatMemory {
 		// Ablation: uniform memory, no coherence (and no protocol
@@ -290,52 +298,26 @@ func (p *Proc) missCharge(a Addr, write bool, sh Sharing, overlap float64) {
 		p.chargeLocal(cfg.Topology.LocalLatency)
 		return
 	}
+	p.missChargeHome(p.m.as.HomeOf(a), write, sh, overlap)
+}
+
+// missChargeHome prices a (non-flat-memory) miss on a line homed at
+// home. The charge comes from the machine's memoized pricing table; the
+// table is built by the live coherence.Protocol at Machine.New, so the
+// charged floats are bit-identical to the per-miss protocol walk it
+// replaced (TestPriceTableMatchesProtocol).
+func (p *Proc) missChargeHome(home int, write bool, sh Sharing, overlap float64) {
 	// Sharing constants mirror trace.TxClass order, so the conversion is
 	// a cast (checked by TestSharingTxClassAlignment).
 	p.countTx(trace.TxClass(sh))
-	var res coherence.Result
-	switch sh {
-	case Private:
-		if write {
-			res = p.m.proto.Write(p.Node, home, -1, coherence.Unowned, nil)
-		} else {
-			res = p.m.proto.Read(p.Node, home, -1, coherence.Unowned, nil)
-		}
-	case RemoteProduced:
-		// Dirty in the home node's cache: three-hop intervention.
-		if write {
-			res = p.m.proto.Write(p.Node, home, home, coherence.Exclusive, nil)
-		} else {
-			res = p.m.proto.Read(p.Node, home, home, coherence.Exclusive, nil)
-		}
-	case SharedRead:
-		if write {
-			res = p.m.proto.Write(p.Node, home, -1, coherence.Shared, []int{home})
-		} else {
-			res = p.m.proto.Read(p.Node, home, -1, coherence.Shared, nil)
-		}
-	case ConflictWrite:
-		res = p.m.proto.Write(p.Node, home, home, coherence.Exclusive, nil)
-	case DirtyElsewhere:
-		// Three-hop with an unknown owner: request to home, intervention
-		// to the (average-distance) owner, data from owner to requester.
-		params := cfg.Coherence
-		top := p.m.top
-		avg := top.AverageReadLatency()
-		lat := top.ReadLatency(p.Node, home) + params.DirOccupancy +
-			avg + avg + top.TransferTime(params.DataBytes)
-		p.stats.Traffic.ProtocolTransactions++
-		p.stats.Traffic.RemoteBytes += int64(2*params.CtrlBytes + 2*params.DataBytes)
-		p.chargeRemote(lat / overlap)
-		return
-	}
+	e := &p.m.prices.miss[priceClass(sh, write)][p.nodeRow+home]
 	p.stats.Traffic.ProtocolTransactions++
-	if home == p.Node {
-		p.chargeLocal(res.Latency / overlap)
+	if e.remote {
+		p.stats.Traffic.RemoteBytes += e.trafficBytes
+		p.chargeRemote(e.latencyNs / overlap)
 		return
 	}
-	p.stats.Traffic.RemoteBytes += int64(res.TrafficBytes)
-	p.chargeRemote(res.Latency / overlap)
+	p.chargeLocal(e.latencyNs / overlap)
 }
 
 // chargeWriteback prices the eviction of a dirty line. Writebacks are
@@ -343,7 +325,6 @@ func (p *Proc) missCharge(a Addr, write bool, sh Sharing, overlap float64) {
 // the home memory controller and the network; we charge their occupancy
 // and wire time (not their full round-trip latency).
 func (p *Proc) chargeWriteback(a Addr) {
-	home := p.m.as.HomeOf(a)
 	cfg := &p.m.cfg
 	if cfg.FlatMemory {
 		p.chargeLocal(cfg.Coherence.DirOccupancy)
@@ -351,14 +332,13 @@ func (p *Proc) chargeWriteback(a Addr) {
 	}
 	p.countTx(trace.TxWriteback)
 	p.stats.Traffic.ProtocolTransactions++
-	if home == p.Node {
-		p.chargeLocal(cfg.Coherence.DirOccupancy)
+	e := &p.wbRow[p.m.as.HomeOf(a)]
+	if e.remote {
+		p.stats.Traffic.RemoteBytes += e.trafficBytes
+		p.chargeRemote(e.latencyNs)
 		return
 	}
-	wb := p.m.proto.Writeback(p.Node, home)
-	p.stats.Traffic.RemoteBytes += int64(wb.TrafficBytes)
-	// Occupancy + wire time; latency overlap hides the rest.
-	p.chargeRemote(cfg.Coherence.DirOccupancy + p.m.top.TransferTime(wb.TrafficBytes))
+	p.chargeLocal(e.latencyNs)
 }
 
 // Load simulates a scattered (dependent, unoverlapped) read of the line
@@ -393,15 +373,61 @@ func (p *Proc) StoreBlock(a Addr, bytes int, sh Sharing) {
 	p.walkBlock(a, bytes, true, sh)
 }
 
+// walkBlock touches each cache line of [a, a+bytes) once with stream
+// overlap, chunked into page runs: the TLB translation and the page's
+// home node are invariants of a run, so they are resolved once per page
+// instead of once per line. Charge order — TLB refill at the first line
+// of a page, then per-line writeback/miss charges — matches the legacy
+// per-line walk exactly, so virtual times are byte-identical.
 func (p *Proc) walkBlock(a Addr, bytes int, write bool, sh Sharing) {
 	if bytes <= 0 {
 		return
 	}
-	line := Addr(p.m.cfg.Cache.LineSize)
+	cfg := &p.m.cfg
+	line := Addr(cfg.Cache.LineSize)
 	end := a + Addr(bytes)
-	overlap := p.m.cfg.MissOverlap
-	for la := p.cache.LineAddr(a); la < end; la += line {
-		p.access(la, write, sh, overlap)
+	overlap := cfg.MissOverlap
+	la := p.cache.LineAddr(a)
+	pageSize := Addr(cfg.TLB.PageSize)
+	if line > pageSize {
+		// Degenerate geometry (line larger than page): no page run to
+		// hoist; take the per-access path.
+		for ; la < end; la += line {
+			p.access(la, write, sh, overlap)
+		}
+		return
+	}
+	as := p.m.as
+	for la < end {
+		// One page run: lines in [la, runEnd). Lines never straddle
+		// pages (both sizes are powers of two with line <= page).
+		runEnd := (la &^ (pageSize - 1)) + pageSize
+		if runEnd > end {
+			runEnd = end
+		}
+		nLines := uint64((runEnd - la + line - 1) / line)
+		if p.tlb.AccessN(la, nLines) {
+			p.chargeLocal(cfg.TLBMissNs)
+		}
+		home, uniform := as.PageHome(la)
+		for ; la < runEnd; la += line {
+			res := p.cache.Access(la, write)
+			if res.WriteBack {
+				p.chargeWriteback(res.WritebackAddr)
+			}
+			if res.Hit {
+				continue
+			}
+			if cfg.FlatMemory {
+				p.chargeLocal(cfg.Topology.LocalLatency)
+				continue
+			}
+			h := home
+			if !uniform {
+				h = as.HomeOf(la)
+			}
+			p.missChargeHome(h, write, sh, overlap)
+		}
 	}
 }
 

@@ -7,11 +7,25 @@
 // because the NUMA cost of a miss depends on the home node of the page
 // it falls on, and because the paper's experiments are sensitive to page
 // size (the authors tune page size per data-set size).
+//
+// Home lookups run once per simulated cache miss, so they are hot on the
+// host: HomeOf answers from a flat page→home table built at allocation
+// time (one bounds check and one slice load), falling back to the
+// region's placement closure only for the rare page whose bytes are not
+// all homed on one node (a page straddling a blocked-partition boundary,
+// or a region tail page whose alignment padding is homed on node 0).
+// RegionOf keeps a last-region memo in front of its binary search, since
+// lookups cluster in one region at a time.
+//
+// Allocation is a setup-time operation: regions must be allocated before
+// the machine runs processors (concurrent HomeOf/RegionOf lookups are
+// read-only and safe; allocation concurrent with lookups is not).
 package memsys
 
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/cache"
 )
@@ -45,12 +59,20 @@ func (p Placement) String() string {
 	}
 }
 
+// mixedPage marks a page-table entry whose page does not have a single
+// home node; lookups fall back to the region's placement closure.
+const mixedPage int32 = -1
+
 // Region is a contiguous allocation in the simulated address space.
 type Region struct {
 	name   string
 	base   cache.Addr
 	size   int
 	homeOf func(offset int) int
+	// spanHome returns the home node shared by every in-region byte
+	// offset in [start, end], or mixedPage when the span covers more
+	// than one home. Used to build the flat page table at alloc time.
+	spanHome func(start, end int) int32
 }
 
 // Name returns the region's diagnostic name.
@@ -79,11 +101,22 @@ func (r *Region) HomeOfOffset(offset int) int { return r.homeOf(offset) }
 // AddressSpace allocates regions and answers home-node queries.
 type AddressSpace struct {
 	pageSize   int
+	pageShift  uint
 	nodes      int
 	nodeOfProc func(proc int) int
 	next       cache.Addr
 	regions    []*Region // sorted by base
 	rrNext     int       // next node for round-robin placement
+
+	// pageHome is the flat page→home table, indexed by page number
+	// (address >> pageShift); mixedPage entries fall back to the owning
+	// region's closure. Built incrementally by alloc; read-only during
+	// simulation.
+	pageHome []int32
+	// lastRegion memoizes the most recent RegionOf result. Atomic so
+	// concurrent processor goroutines may share it; the memo only ever
+	// caches a value the search would return, so lookups stay exact.
+	lastRegion atomic.Pointer[Region]
 }
 
 // New builds an address space. pageSize must be a power of two; nodes is
@@ -99,8 +132,13 @@ func New(pageSize, nodes int, nodeOfProc func(int) int) (*AddressSpace, error) {
 	if nodeOfProc == nil {
 		return nil, fmt.Errorf("memsys: nodeOfProc must not be nil")
 	}
+	shift := uint(0)
+	for 1<<shift < pageSize {
+		shift++
+	}
 	return &AddressSpace{
 		pageSize:   pageSize,
+		pageShift:  shift,
 		nodes:      nodes,
 		nodeOfProc: nodeOfProc,
 		// Leave page 0 unused so the zero Addr never aliases a region.
@@ -116,11 +154,45 @@ func (as *AddressSpace) align(n int) int {
 	return (n + as.pageSize - 1) &^ (as.pageSize - 1)
 }
 
-func (as *AddressSpace) alloc(name string, size int, homeOf func(offset int) int) *Region {
-	r := &Region{name: name, base: as.next, size: size, homeOf: homeOf}
+func (as *AddressSpace) alloc(name string, size int, homeOf func(offset int) int, spanHome func(start, end int) int32) *Region {
+	r := &Region{name: name, base: as.next, size: size, homeOf: homeOf, spanHome: spanHome}
 	as.next += cache.Addr(as.align(size))
 	as.regions = append(as.regions, r)
+	as.indexRegion(r)
 	return r
+}
+
+// indexRegion appends the region's pages to the flat page→home table.
+// A page gets a concrete home only when every one of its byte addresses
+// would resolve to that home through the legacy region walk; otherwise
+// it is marked mixedPage and lookups take the slow path, so the table
+// never changes a simulated result.
+func (as *AddressSpace) indexRegion(r *Region) {
+	firstPage := int(uint64(r.base) >> as.pageShift)
+	// Pages before the region's first page that are not yet indexed are
+	// holes (only page 0 in practice): outside every region, homed on 0.
+	for len(as.pageHome) < firstPage {
+		as.pageHome = append(as.pageHome, 0)
+	}
+	ps := as.pageSize
+	nPages := as.align(r.size) / ps
+	for pg := 0; pg < nPages; pg++ {
+		start := pg * ps
+		last := start + ps - 1
+		var h int32
+		switch {
+		case last < r.size:
+			h = r.spanHome(start, last)
+		case r.spanHome(start, r.size-1) == 0:
+			// Tail page with alignment padding: bytes beyond size lie
+			// outside every region and resolve to node 0, so the page is
+			// uniform only when its in-region bytes are homed on 0 too.
+			h = 0
+		default:
+			h = mixedPage
+		}
+		as.pageHome = append(as.pageHome, h)
+	}
 }
 
 // AllocBlocked allocates size bytes partitioned across nProcs processors:
@@ -135,14 +207,27 @@ func (as *AddressSpace) AllocBlocked(name string, size, nProcs int) *Region {
 		part = 1
 	}
 	nodeOfProc := as.nodeOfProc
-	homeOf := func(offset int) int {
+	procOf := func(offset int) int {
 		p := offset / part
 		if p >= nProcs {
 			p = nProcs - 1
 		}
-		return nodeOfProc(p)
+		return p
 	}
-	return as.alloc(name, size, homeOf)
+	homeOf := func(offset int) int {
+		return nodeOfProc(procOf(offset))
+	}
+	spanHome := func(start, end int) int32 {
+		pStart, pEnd := procOf(start), procOf(end)
+		h := nodeOfProc(pStart)
+		for q := pStart + 1; q <= pEnd; q++ {
+			if nodeOfProc(q) != h {
+				return mixedPage
+			}
+		}
+		return int32(h)
+	}
+	return as.alloc(name, size, homeOf, spanHome)
 }
 
 // AllocRoundRobin allocates size bytes with consecutive pages homed on
@@ -155,7 +240,14 @@ func (as *AddressSpace) AllocRoundRobin(name string, size int) *Region {
 	homeOf := func(offset int) int {
 		return (start + offset/pageSize) % nodes
 	}
-	return as.alloc(name, size, homeOf)
+	spanHome := func(s, e int) int32 {
+		p1, p2 := s/pageSize, e/pageSize
+		if p1 != p2 {
+			return mixedPage
+		}
+		return int32((start + p1) % nodes)
+	}
+	return as.alloc(name, size, homeOf, spanHome)
 }
 
 // AllocOnNode allocates size bytes entirely homed on node.
@@ -164,11 +256,15 @@ func (as *AddressSpace) AllocOnNode(name string, size, node int) *Region {
 		panic(fmt.Sprintf("memsys: AllocOnNode(%q) node %d out of range [0,%d)", name, node, as.nodes))
 	}
 	homeOf := func(int) int { return node }
-	return as.alloc(name, size, homeOf)
+	spanHome := func(int, int) int32 { return int32(node) }
+	return as.alloc(name, size, homeOf, spanHome)
 }
 
 // RegionOf returns the region containing a, or nil.
 func (as *AddressSpace) RegionOf(a cache.Addr) *Region {
+	if r := as.lastRegion.Load(); r != nil && r.Contains(a) {
+		return r
+	}
 	i := sort.Search(len(as.regions), func(i int) bool {
 		return as.regions[i].base > a
 	})
@@ -179,6 +275,7 @@ func (as *AddressSpace) RegionOf(a cache.Addr) *Region {
 	if !r.Contains(a) {
 		return nil
 	}
+	as.lastRegion.Store(r)
 	return r
 }
 
@@ -186,9 +283,38 @@ func (as *AddressSpace) RegionOf(a cache.Addr) *Region {
 // outside any region are homed on node 0 (they arise only from
 // line-rounding at region edges).
 func (as *AddressSpace) HomeOf(a cache.Addr) int {
+	pg := uint64(a) >> as.pageShift
+	if pg >= uint64(len(as.pageHome)) {
+		return 0
+	}
+	if h := as.pageHome[pg]; h >= 0 {
+		return int(h)
+	}
+	return as.slowHomeOf(a)
+}
+
+// slowHomeOf is the legacy region-walk home lookup, used for mixedPage
+// pages (and by the equivalence tests as the reference oracle).
+func (as *AddressSpace) slowHomeOf(a cache.Addr) int {
 	r := as.RegionOf(a)
 	if r == nil {
 		return 0
 	}
 	return r.homeOf(int(a - r.base))
+}
+
+// PageHome returns the home node of the page containing a when every
+// byte of that page resolves to one home, with ok reporting whether it
+// does. Block walks use it to hoist the home lookup out of their
+// per-line loops; when ok is false the caller must resolve each address
+// through HomeOf.
+func (as *AddressSpace) PageHome(a cache.Addr) (home int, ok bool) {
+	pg := uint64(a) >> as.pageShift
+	if pg >= uint64(len(as.pageHome)) {
+		return 0, true
+	}
+	if h := as.pageHome[pg]; h >= 0 {
+		return int(h), true
+	}
+	return 0, false
 }
