@@ -6,7 +6,12 @@
 //
 //	paperfigs [-exp all|table1|fig1|...|table23] [-sizes 1M,4M,16M]
 //	          [-procs 16,32,64] [-seed N] [-j N] [-benchjson] [-v]
-//	          [-trace out.json] [-cpuprofile out.pprof]
+//	          [-paranoid] [-trace out.json] [-cpuprofile out.pprof]
+//
+// -paranoid runs every experiment cell with the invariant-checking
+// reference models enabled (DESIGN.md §9): stdout stays byte-identical,
+// host time grows severalfold, and the command fails on the first cell
+// whose fast path disagrees with the reference models.
 //
 // -cpuprofile writes a pprof CPU profile of the run; refreshing
 // default.pgo from a representative grid keeps the committed PGO profile
@@ -153,6 +158,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		par       = fs.Int("j", runtime.GOMAXPROCS(0), "max concurrent experiment runs (>= 1)")
 		benchjson = fs.Bool("benchjson", false, "write per-figure wall-clock/simulated metrics to -benchout")
 		benchout  = fs.String("benchout", "BENCH_paperfigs.json", "output path for -benchjson")
+		paranoid  = fs.Bool("paranoid", false, "shadow every access with the reference models and invariant checks (slow; fails on any violation)")
 		traceTo   = fs.String("trace", "", "write every cell's event trace to this Chrome trace_event JSON file")
 		cpuprof   = fs.String("cpuprofile", "", "write a CPU profile to this file (feeds the default.pgo PGO profile)")
 		verbose   = fs.Bool("v", false, "print one line per completed run")
@@ -184,7 +190,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("unknown experiment %q (want all, table1, fig1..fig10, or table23)", *exp)
 	}
 
-	opts := repro.Options{Seed: *seed, Parallelism: *par, Trace: *traceTo != ""}
+	opts := repro.Options{Seed: *seed, Parallelism: *par, Trace: *traceTo != "", Paranoid: *paranoid}
 	if *sizes != "" {
 		for _, s := range strings.Split(*sizes, ",") {
 			sc, err := repro.SizeByLabel(strings.TrimSpace(s))

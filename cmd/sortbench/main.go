@@ -4,9 +4,15 @@
 // Usage:
 //
 //	sortbench -algo radix -model shmem -n 262144 -procs 16 -radix 8 \
-//	          -dist gauss [-seed N] [-full] [-perproc] \
+//	          -dist gauss [-seed N] [-full] [-perproc] [-paranoid] \
 //	          [-trace out.json] [-metrics out.json] \
 //	          [-benchjson] [-benchout BENCH_sim.json] [-benchlabel rev]
+//
+// -paranoid shadows every simulated access with the slow reference
+// models and invariant checks of internal/check (DESIGN.md §9). Output
+// is byte-identical to a normal run; if any check is violated the
+// command fails with a structured error naming the processor, phase and
+// address of the first disagreement.
 //
 // -trace writes a Chrome trace_event JSON file of the run (open it in
 // Perfetto or chrome://tracing; one track per simulated processor).
@@ -67,6 +73,7 @@ func main() {
 		dist       = flag.String("dist", "gauss", "key distribution")
 		seed       = flag.Uint64("seed", 0, "key generation seed")
 		full       = flag.Bool("full", false, "use the full-size (unscaled) Origin2000 parameters")
+		paranoid   = flag.Bool("paranoid", false, "shadow every access with the reference models and invariant checks (slow; fails on any violation)")
 		perproc    = flag.Bool("perproc", false, "print the per-processor breakdown")
 		traceTo    = flag.String("trace", "", "write a Chrome trace_event JSON trace to this file")
 		metrics    = flag.String("metrics", "", "write the flat metrics map as JSON to this file")
@@ -94,7 +101,7 @@ func main() {
 	start := time.Now()
 	out, err := repro.Run(repro.Experiment{
 		Algorithm: a, Model: m, N: *n, Procs: *procs, Radix: *radix,
-		Dist: d, Seed: *seed, FullSize: *full,
+		Dist: d, Seed: *seed, FullSize: *full, Paranoid: *paranoid,
 		Trace: *traceTo != "" || *metrics != "",
 	})
 	wall := time.Since(start)

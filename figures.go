@@ -34,6 +34,11 @@ type Options struct {
 	// time is independent of host scheduling, so tables and figures are
 	// byte-identical at any setting; only wall-clock changes.
 	Parallelism int
+	// Paranoid runs every experiment cell (baselines included) with the
+	// paranoid-mode invariant checks enabled; any violation fails the
+	// run with a structured error. Outputs are unchanged — tables and
+	// figures stay byte-identical — but host time grows severalfold.
+	Paranoid bool
 	// Trace records a virtual-time event trace for every experiment cell
 	// (baselines excluded — they are cached and shared across drivers).
 	// Traces accumulate on the harness in deterministic submission order
@@ -181,6 +186,7 @@ func (h *Harness) BaselineTime(n int, dist keys.Dist) (float64, error) {
 		out, err := Run(Experiment{
 			Algorithm: Radix, Model: Seq, N: n, Procs: 1, Radix: 8,
 			Dist: dist, Seed: h.opts.Seed, FullSize: h.opts.FullSize,
+			Paranoid: h.opts.Paranoid,
 		})
 		if err != nil {
 			e.err = err
@@ -208,6 +214,7 @@ func (h *Harness) run(e Experiment) (*Outcome, error) {
 	e.Seed = h.opts.Seed
 	e.FullSize = h.opts.FullSize
 	e.Trace = h.opts.Trace
+	e.Paranoid = h.opts.Paranoid
 	out, err := Run(e)
 	if err != nil {
 		return nil, err

@@ -370,6 +370,17 @@ func (c *Cache) Invalidate(a Addr) (present, dirty bool) {
 	return false, false
 }
 
+// CorruptMemoForTest poisons the MRU line-memo entry so the next access
+// to a's line reports a memoized hit regardless of whether the line is
+// resident, pointing the memo at way 0 of set 0. It deliberately breaks
+// the memo invariant ("a memo entry never names a non-resident line") so
+// the paranoid differential oracle can prove it detects memo-layer
+// corruption; it must never be called outside tests.
+func (c *Cache) CorruptMemoForTest(a Addr) {
+	c.lastLineNum = uint64(a) >> c.lineShift
+	c.lastLine = &c.lines[0]
+}
+
 // Flush invalidates every line and returns the number of dirty lines
 // dropped.
 func (c *Cache) Flush() int {

@@ -1,0 +1,168 @@
+// Differential test suite for paranoid mode (DESIGN.md §9).
+//
+// TestParanoidAllPrograms runs every sorting program at small N with the
+// paranoid checker enabled: each run shadows every simulated access with
+// the reference cache/TLB/page-home/protocol models and asserts the
+// structural invariants, so a pass means the PR-3 fast paths and the
+// reference semantics agree access-by-access on real workloads.
+//
+// The mutation tests then prove the oracle has teeth: each one injects a
+// deliberate corruption into a fast-path structure (a pricing-table
+// entry, the cache's MRU line memo) and asserts the checker reports it.
+package check_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/check"
+	"repro/internal/machine"
+)
+
+// TestParanoidAllPrograms is the differential suite: all program
+// combinations (the paper's 8 plus the staged-copy MPI variants) at
+// 1/4/16 procs with paranoid mode on, asserting zero violations. The
+// sequential baseline only exists at procs=1.
+func TestParanoidAllPrograms(t *testing.T) {
+	type combo struct {
+		algo  repro.Algorithm
+		model repro.Model
+	}
+	combos := []combo{
+		{repro.Radix, repro.Seq},
+		{repro.Radix, repro.CCSAS},
+		{repro.Radix, repro.CCSASNew},
+		{repro.Radix, repro.MPI},
+		{repro.Radix, repro.MPISGI},
+		{repro.Radix, repro.SHMEM},
+		{repro.Sample, repro.CCSAS},
+		{repro.Sample, repro.MPI},
+		{repro.Sample, repro.MPISGI},
+		{repro.Sample, repro.SHMEM},
+	}
+	procs := []int{1, 4, 16}
+	if testing.Short() {
+		procs = []int{4}
+	}
+	for _, c := range combos {
+		for _, p := range procs {
+			if c.model == repro.Seq && p != 1 {
+				continue
+			}
+			name := fmt.Sprintf("%s-%s-p%d", c.algo, c.model, p)
+			c, p := c, p
+			t.Run(name, func(t *testing.T) {
+				t.Parallel()
+				out, err := repro.Run(repro.Experiment{
+					Algorithm: c.algo, Model: c.model,
+					N: 1 << 13, Procs: p, Radix: 8,
+					Paranoid: true,
+				})
+				if err != nil {
+					t.Fatalf("paranoid run failed: %v", err)
+				}
+				if !out.Verified {
+					t.Error("output not verified sorted")
+				}
+			})
+		}
+	}
+}
+
+// TestParanoidMatchesNormalRun pins the "byte-identical results" half of
+// the paranoid contract: the same experiment with and without the
+// checker must report the same simulated time.
+func TestParanoidMatchesNormalRun(t *testing.T) {
+	run := func(paranoid bool) float64 {
+		out, err := repro.Run(repro.Experiment{
+			Algorithm: repro.Radix, Model: repro.SHMEM,
+			N: 1 << 13, Procs: 8, Radix: 8, Paranoid: paranoid,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.TimeNs
+	}
+	if normal, paranoid := run(false), run(true); normal != paranoid {
+		t.Errorf("simulated time diverges: normal=%v paranoid=%v", normal, paranoid)
+	}
+}
+
+// hasKind reports whether the checker recorded at least one violation of
+// the given kind, and returns the kinds seen for the failure message.
+func hasKind(ck *check.Checker, kind string) (bool, string) {
+	var kinds []string
+	for _, v := range ck.Violations() {
+		kinds = append(kinds, v.Kind)
+		if v.Kind == kind {
+			return true, ""
+		}
+	}
+	return false, strings.Join(kinds, ", ")
+}
+
+// TestMutationPriceTable corrupts one pricing-table entry — the
+// (Private, read) miss price for node 0's local home — and asserts the
+// live-protocol price oracle catches the divergence on the first cold
+// miss. Without the corruption the identical body reports nothing.
+func TestMutationPriceTable(t *testing.T) {
+	body := func(corrupt bool) *check.Checker {
+		cfg := machine.Origin2000Scaled(1)
+		cfg.Paranoid = true
+		m := machine.MustNew(cfg)
+		if corrupt {
+			m.CorruptPriceEntryForTest(machine.Private, false, 0, 0, 7.5)
+		}
+		arr := machine.NewArrayBlocked[int64](m, "a", 1<<12)
+		m.Run(func(p *machine.Proc) {
+			for i := 0; i < arr.Len(); i++ {
+				arr.Load(p, i, machine.Private) // cold misses hit the corrupted row
+			}
+		})
+		return m.Checker()
+	}
+	if ck := body(false); ck.Count() != 0 {
+		t.Fatalf("control run reported %d violations: %v", ck.Count(), ck.Err())
+	}
+	ck := body(true)
+	if ck.Count() == 0 {
+		t.Fatal("corrupted pricing table went undetected")
+	}
+	if ok, kinds := hasKind(ck, "price-mismatch"); !ok {
+		t.Errorf("no price-mismatch violation; got kinds: %s", kinds)
+	}
+	if err := ck.Err(); err == nil || !strings.Contains(err.Error(), "price-mismatch") {
+		t.Errorf("Err() = %v, want a price-mismatch violation", err)
+	}
+}
+
+// TestMutationCacheMemo poisons the cache's MRU line memo to name a
+// non-resident line, making the fast path report a spurious hit; the
+// unmemoized reference cache disagrees and the checker must flag the
+// access.
+func TestMutationCacheMemo(t *testing.T) {
+	cfg := machine.Origin2000Scaled(1)
+	cfg.Paranoid = true
+	m := machine.MustNew(cfg)
+	arr := machine.NewArrayBlocked[int64](m, "a", 1<<13)
+	m.Run(func(p *machine.Proc) {
+		arr.Load(p, 0, machine.Private) // line 0 resident, memo points at it
+		// Poison the memo: claim the (cold) line of element 1<<12 is the
+		// MRU-resident line. The next access to it falsely memo-hits.
+		p.CorruptCacheMemoForTest(arr.Addr(1 << 12))
+		arr.Load(p, 1<<12, machine.Private)
+	})
+	ck := m.Checker()
+	if ck.Count() == 0 {
+		t.Fatal("poisoned cache memo went undetected")
+	}
+	if ok, kinds := hasKind(ck, "cache-access"); !ok {
+		t.Errorf("no cache-access violation; got kinds: %s", kinds)
+	}
+	v := ck.Violations()[0]
+	if v.Proc != 0 || v.Addr == 0 {
+		t.Errorf("violation should name proc 0 and the faulting address, got %+v", v)
+	}
+}

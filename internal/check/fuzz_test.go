@@ -1,0 +1,91 @@
+package check_test
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/check"
+)
+
+// FuzzAccessOracle drives random access streams — mixed reads and
+// writes, strided and random, page-crossing, with invalidations and
+// flushes mixed in — through the fast-path cache/TLB models and the
+// unmemoized reference models side by side, and requires bit-identical
+// results on every operation plus identical final counters.
+//
+// Two cache geometries run the same stream: the Origin-style 2-way
+// shape exercises the unrolled probe and the line memos, a 4-way shape
+// exercises the general probe loop. The address space is kept to 16
+// bits over a tiny cache/TLB so conflict evictions, writebacks and TLB
+// FIFO churn all happen within a short input.
+func FuzzAccessOracle(f *testing.F) {
+	// Seed corpus: a sequential sweep, a write-heavy strided pass, an
+	// alternating two-stream pattern (defeats a one-entry memo), a
+	// flush/invalidate torture mix, and a page-crossing run.
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00, 0x40, 0x00, 0x00, 0x80, 0x00, 0x00, 0xC0, 0x00})
+	f.Add([]byte{0x03, 0x00, 0x10, 0x03, 0x04, 0x10, 0x03, 0x08, 0x10, 0x03, 0x0C, 0x10})
+	f.Add([]byte{0x00, 0x00, 0x01, 0x03, 0x00, 0x41, 0x00, 0x40, 0x01, 0x03, 0x40, 0x41})
+	f.Add([]byte{0x03, 0x00, 0x02, 0x06, 0x00, 0x02, 0x07, 0x00, 0x00, 0x00, 0x00, 0x02})
+	f.Add([]byte{0x2D, 0xF0, 0x03, 0x5D, 0x10, 0x04, 0x00, 0xFF, 0xFF})
+
+	ccfgs := []cache.Config{
+		{Size: 4096, LineSize: 64, Ways: 2}, // unrolled 2-way probe + memo
+		{Size: 8192, LineSize: 32, Ways: 4}, // general probe loop
+	}
+	tcfg := cache.TLBConfig{Entries: 8, PageSize: 1 << 10}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, ccfg := range ccfgs {
+			fast := cache.New(ccfg)
+			ref := check.NewRefCache(ccfg)
+			ftlb := cache.NewTLB(tcfg)
+			rtlb := check.NewRefTLB(tcfg)
+
+			for i := 0; i+3 <= len(data); i += 3 {
+				op := data[i]
+				a := cache.Addr(uint64(data[i+1]) | uint64(data[i+2])<<8)
+				switch op & 7 {
+				case 0, 1, 2, 3, 4: // access; ops 3-4 write
+					write := op&7 >= 3
+					if fm, rm := ftlb.Access(a), rtlb.Access(a); fm != rm {
+						t.Fatalf("%+v op %d: tlb.Access(%#x) fast=%v ref=%v", ccfg, i, a, fm, rm)
+					}
+					fr := fast.Access(a, write)
+					rr := ref.Access(a, write)
+					if fr.Hit != rr.Hit || fr.WriteBack != rr.WriteBack ||
+						(fr.WriteBack && fr.WritebackAddr != rr.WritebackAddr) {
+						t.Fatalf("%+v op %d: Access(%#x, write=%v) fast=%+v ref=%+v",
+							ccfg, i, a, write, fr, rr)
+					}
+				case 5: // page-run translation (the walkBlock hoist)
+					n := uint64(op>>3) & 15
+					if fm, rm := ftlb.AccessN(a, n), rtlb.AccessN(a, n); fm != rm {
+						t.Fatalf("%+v op %d: tlb.AccessN(%#x, %d) fast=%v ref=%v", ccfg, i, a, n, fm, rm)
+					}
+				case 6:
+					fp, fd := fast.Invalidate(a)
+					rp, rd := ref.Invalidate(a)
+					if fp != rp || fd != rd {
+						t.Fatalf("%+v op %d: Invalidate(%#x) fast=(%v,%v) ref=(%v,%v)",
+							ccfg, i, a, fp, fd, rp, rd)
+					}
+				case 7:
+					if fd, rd := fast.Flush(), ref.Flush(); fd != rd {
+						t.Fatalf("%+v op %d: Flush fast=%d ref=%d dirty lines", ccfg, i, fd, rd)
+					}
+					ftlb.Flush()
+					rtlb.Flush()
+				}
+			}
+
+			fs, rs := fast.Stats(), ref.Counts()
+			if fs.Accesses != rs.Accesses || fs.Misses != rs.Misses || fs.Writebacks != rs.Writebacks {
+				t.Fatalf("%+v: final cache counts fast=%+v ref=%+v", ccfg, fs, rs)
+			}
+			ts, rt := ftlb.Stats(), rtlb.Counts()
+			if ts.Accesses != rt.Accesses || ts.Misses != rt.Misses {
+				t.Fatalf("%+v: final TLB counts fast=%+v ref=%+v", ccfg, ts, rt)
+			}
+		}
+	})
+}

@@ -56,6 +56,13 @@ type Config struct {
 	FlatMemory bool
 	// NoContention, when true, forces all contention factors to 1.
 	NoContention bool
+	// Paranoid, when true, shadows every simulated access with the slow
+	// reference models and invariant checks of internal/check (see
+	// DESIGN.md §9). The run's simulated results are unchanged —
+	// paranoid outputs are byte-identical to normal ones — but the host
+	// slows down severalfold; violations accumulate on
+	// Machine.Checker().
+	Paranoid bool
 
 	// Coherence sets the protocol message cost constants. Zero value is
 	// replaced by coherence.DefaultParams(Cache.LineSize) in Validate.

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/check"
 	"repro/internal/coherence"
 	"repro/internal/memsys"
 	"repro/internal/topology"
@@ -35,6 +36,10 @@ type Machine struct {
 
 	// tracing makes the next Run record a virtual-time event trace.
 	tracing bool
+
+	// checker collects paranoid-mode violations, nil unless
+	// Config.Paranoid (see internal/check and paranoid.go).
+	checker *check.Checker
 }
 
 // New builds a machine from cfg. The configuration is validated and its
@@ -60,6 +65,11 @@ func New(cfg Config) (*Machine, error) {
 	// Precompute the coherence pricing table before processors are
 	// built: each Proc caches its own row pointers.
 	m.prices = newPriceTable(top, m.proto, cfg.Coherence)
+	if cfg.Paranoid {
+		// The checker must exist before processors are built: each Proc
+		// attaches its paranoid shadow at construction.
+		m.checker = check.New()
+	}
 	n := cfg.Topology.Processors
 	m.procs = make([]*Proc, n)
 	for i := 0; i < n; i++ {
@@ -110,6 +120,12 @@ func (m *Machine) EnableTracing() { m.tracing = true }
 
 // DisableTracing stops trace recording for subsequent Runs.
 func (m *Machine) DisableTracing() { m.tracing = false }
+
+// Checker returns the paranoid-mode violation collector, or nil when the
+// machine was built without Config.Paranoid. Callers should consult
+// Checker().Err() after a run; the simulator records violations rather
+// than halting, so a run always completes with its normal outputs.
+func (m *Machine) Checker() *check.Checker { return m.checker }
 
 // Result reports one parallel run.
 type Result struct {
@@ -190,6 +206,13 @@ func (m *Machine) Run(body func(p *Proc)) *Result {
 			res.TimeNs = p.clock
 		}
 	}
+	if m.checker != nil {
+		// End-of-run structural checks: accounting identities, counter
+		// conservation, trace/Tx alignment (see paranoid.go).
+		for i, p := range m.procs {
+			p.pc.finishRun(p, res.PerProc[i])
+		}
+	}
 	if tr != nil {
 		for _, p := range m.procs {
 			p.tr.CloseSpan(p.clock)
@@ -261,8 +284,11 @@ func fillMetrics(tr *trace.Trace, res *Result) {
 // unrelated experiments sharing one machine).
 func (m *Machine) ResetMemory() {
 	for _, p := range m.procs {
-		p.cache.Flush()
+		dirty := p.cache.Flush()
 		p.tlb.Flush()
+		if p.pc != nil {
+			p.pc.checkFlush(p, dirty)
+		}
 	}
 }
 

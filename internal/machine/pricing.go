@@ -1,6 +1,8 @@
 package machine
 
 import (
+	"fmt"
+
 	"repro/internal/coherence"
 	"repro/internal/topology"
 )
@@ -52,6 +54,75 @@ type priceTable struct {
 	writeback []priceEntry
 }
 
+// priceFor computes one miss charge by walking the live protocol
+// engine: the single source of truth shared by newPriceTable (which
+// memoizes it over every combination at Machine.New) and by paranoid
+// mode (which recomputes it per miss and compares against the memoized
+// entry the hot path read). The arithmetic replicates the legacy
+// missCharge switch term for term — float addition order matters for
+// byte-identical results.
+func priceFor(top *topology.Topology, proto *coherence.Protocol, params coherence.Params,
+	sh Sharing, write bool, req, home int) priceEntry {
+	remote := home != req
+	mk := func(res coherence.Result) priceEntry {
+		return priceEntry{
+			latencyNs:    res.Latency,
+			trafficBytes: int64(res.TrafficBytes),
+			remote:       remote,
+		}
+	}
+	switch sh {
+	case Private:
+		if write {
+			return mk(proto.Write(req, home, -1, coherence.Unowned, nil))
+		}
+		return mk(proto.Read(req, home, -1, coherence.Unowned, nil))
+	case RemoteProduced:
+		if write {
+			return mk(proto.Write(req, home, home, coherence.Exclusive, nil))
+		}
+		return mk(proto.Read(req, home, home, coherence.Exclusive, nil))
+	case SharedRead:
+		if write {
+			return mk(proto.Write(req, home, -1, coherence.Shared, []int{home}))
+		}
+		return mk(proto.Read(req, home, -1, coherence.Shared, nil))
+	case ConflictWrite:
+		// missCharge prices ConflictWrite as an ownership transfer for
+		// loads and stores alike.
+		return mk(proto.Write(req, home, home, coherence.Exclusive, nil))
+	case DirtyElsewhere:
+		// Three-hop transaction whose owner legs run at the machine's
+		// average remote latency; remote-charged even when home is the
+		// local node.
+		avg := top.AverageReadLatency()
+		return priceEntry{
+			latencyNs: top.ReadLatency(req, home) + params.DirOccupancy +
+				avg + avg + top.TransferTime(params.DataBytes),
+			trafficBytes: int64(2*params.CtrlBytes + 2*params.DataBytes),
+			remote:       true,
+		}
+	default:
+		panic(fmt.Sprintf("machine: priceFor of invalid sharing class %d", int(sh)))
+	}
+}
+
+// wbPriceFor computes one writeback charge (directory occupancy plus
+// wire time; the round-trip latency is off the processor's critical
+// path), shared by newPriceTable and the paranoid oracle like priceFor.
+func wbPriceFor(top *topology.Topology, proto *coherence.Protocol, params coherence.Params,
+	owner, home int) priceEntry {
+	if home == owner {
+		return priceEntry{latencyNs: params.DirOccupancy}
+	}
+	wb := proto.Writeback(owner, home)
+	return priceEntry{
+		latencyNs:    params.DirOccupancy + top.TransferTime(wb.TrafficBytes),
+		trafficBytes: int64(wb.TrafficBytes),
+		remote:       true,
+	}
+}
+
 // newPriceTable builds the table by driving the live protocol engine
 // through every combination, so each stored float is bit-identical to
 // what the legacy per-miss computation produced.
@@ -62,52 +133,15 @@ func newPriceTable(top *topology.Topology, proto *coherence.Protocol, params coh
 		pt.miss[c] = make([]priceEntry, n*n)
 	}
 	pt.writeback = make([]priceEntry, n*n)
-	avg := top.AverageReadLatency()
 	for req := 0; req < n; req++ {
 		for home := 0; home < n; home++ {
 			i := req*n + home
-			remote := home != req
-			set := func(sh Sharing, write bool, res coherence.Result) {
-				pt.miss[priceClass(sh, write)][i] = priceEntry{
-					latencyNs:    res.Latency,
-					trafficBytes: int64(res.TrafficBytes),
-					remote:       remote,
+			for _, sh := range []Sharing{Private, RemoteProduced, SharedRead, ConflictWrite, DirtyElsewhere} {
+				for _, write := range []bool{false, true} {
+					pt.miss[priceClass(sh, write)][i] = priceFor(top, proto, params, sh, write, req, home)
 				}
 			}
-			set(Private, false, proto.Read(req, home, -1, coherence.Unowned, nil))
-			set(Private, true, proto.Write(req, home, -1, coherence.Unowned, nil))
-			set(RemoteProduced, false, proto.Read(req, home, home, coherence.Exclusive, nil))
-			set(RemoteProduced, true, proto.Write(req, home, home, coherence.Exclusive, nil))
-			set(SharedRead, false, proto.Read(req, home, -1, coherence.Shared, nil))
-			set(SharedRead, true, proto.Write(req, home, -1, coherence.Shared, []int{home}))
-			// missCharge prices ConflictWrite as an ownership transfer for
-			// loads and stores alike.
-			cw := proto.Write(req, home, home, coherence.Exclusive, nil)
-			set(ConflictWrite, false, cw)
-			set(ConflictWrite, true, cw)
-			// DirtyElsewhere: three-hop transaction whose owner legs run at
-			// the machine's average remote latency; remote-charged even when
-			// home is the local node. The arithmetic replicates the legacy
-			// missCharge expression term for term (float addition order
-			// matters for byte-identical results).
-			de := priceEntry{
-				latencyNs: top.ReadLatency(req, home) + params.DirOccupancy +
-					avg + avg + top.TransferTime(params.DataBytes),
-				trafficBytes: int64(2*params.CtrlBytes + 2*params.DataBytes),
-				remote:       true,
-			}
-			pt.miss[priceClass(DirtyElsewhere, false)][i] = de
-			pt.miss[priceClass(DirtyElsewhere, true)][i] = de
-			if !remote {
-				pt.writeback[i] = priceEntry{latencyNs: params.DirOccupancy}
-			} else {
-				wb := proto.Writeback(req, home)
-				pt.writeback[i] = priceEntry{
-					latencyNs:    params.DirOccupancy + top.TransferTime(wb.TrafficBytes),
-					trafficBytes: int64(wb.TrafficBytes),
-					remote:       true,
-				}
-			}
+			pt.writeback[i] = wbPriceFor(top, proto, params, req, home)
 		}
 	}
 	return pt
@@ -122,4 +156,12 @@ func (pt *priceTable) missEntry(sh Sharing, write bool, requester, home int) pri
 // writebackEntry returns the charge for one dirty eviction.
 func (pt *priceTable) writebackEntry(owner, home int) priceEntry {
 	return pt.writeback[owner*pt.nodes+home]
+}
+
+// CorruptPriceEntryForTest adds deltaNs to the memoized latency of one
+// miss entry, leaving the live protocol untouched. The paranoid mutation
+// tests use it to prove the differential oracle detects a fast-path
+// pricing corruption; it must never be called outside tests.
+func (m *Machine) CorruptPriceEntryForTest(sh Sharing, write bool, requesterNode, home int, deltaNs float64) {
+	m.prices.miss[priceClass(sh, write)][requesterNode*m.prices.nodes+home].latencyNs += deltaNs
 }

@@ -71,12 +71,19 @@ type Proc struct {
 	// disabled hot path costs one predictable branch and zero
 	// allocations (enforced by TestTracingDisabledZeroAlloc).
 	tr *trace.ProcTrace
+
+	// pc is this processor's paranoid-mode shadow (reference models and
+	// invariant state), nil unless Config.Paranoid. Like tr, every hook
+	// site is a nil check, so a non-paranoid run costs one predictable
+	// branch per site and zero allocations (enforced by
+	// TestParanoidDisabledZeroAlloc).
+	pc *paranoid
 }
 
 func newProc(m *Machine, id int) *Proc {
 	node := m.top.NodeOf(id)
 	n := m.prices.nodes
-	return &Proc{
+	p := &Proc{
 		ID:         id,
 		Node:       node,
 		m:          m,
@@ -86,6 +93,10 @@ func newProc(m *Machine, id int) *Proc {
 		wbRow:      m.prices.writeback[node*n : (node+1)*n],
 		contention: 1,
 	}
+	if m.checker != nil {
+		p.pc = newParanoid(m, m.checker)
+	}
+	return p
 }
 
 func (p *Proc) resetClock() {
@@ -96,6 +107,9 @@ func (p *Proc) resetClock() {
 	p.phaseAcc = nil
 	p.phases = nil
 	p.tr = nil
+	if p.pc != nil {
+		p.pc.resetRun()
+	}
 }
 
 // SetPhase labels subsequent charges with a phase name; per-phase
@@ -104,6 +118,11 @@ func (p *Proc) resetClock() {
 // closes the previous phase span and opens a new one on this
 // processor's trace track.
 func (p *Proc) SetPhase(name string) {
+	if p.pc != nil {
+		// Close the elapsed-time measurement of the outgoing phase before
+		// the label changes (paranoid per-phase accounting identity).
+		p.pc.notePhase(p)
+	}
 	if p.tr != nil {
 		if name == "" {
 			p.tr.CloseSpan(p.clock)
@@ -140,6 +159,15 @@ func (p *Proc) snapshot() ProcStats {
 	if p.phases != nil {
 		s.Phases = make(map[string]Breakdown, len(p.phases))
 		for name, acc := range p.phases {
+			if *acc == (Breakdown{}) {
+				// A phase entered but never charged (e.g. a barrier-only
+				// phase whose wait resolved at zero cost, or a label set
+				// and immediately replaced) would report an empty
+				// breakdown; dropping it keeps the BUSY+LMEM+RMEM+SYNC
+				// accounting identity trivially true for every reported
+				// phase (TestZeroChargePhasePruned).
+				continue
+			}
 			s.Phases[name] = *acc
 		}
 	}
@@ -276,10 +304,14 @@ func (p *Proc) chargeRemote(ns float64) {
 // latency: 1 for scattered dependent accesses, Config.MissOverlap for
 // sequential streams whose misses pipeline through the MSHRs.
 func (p *Proc) access(a Addr, write bool, sh Sharing, overlap float64) {
-	if p.tlb.Access(a) {
+	tlbMiss := p.tlb.Access(a)
+	if tlbMiss {
 		p.chargeLocal(p.m.cfg.TLBMissNs)
 	}
 	res := p.cache.Access(a, write)
+	if p.pc != nil {
+		p.pc.checkAccess(p, a, write, tlbMiss, res)
+	}
 	if res.WriteBack {
 		p.chargeWriteback(res.WritebackAddr)
 	}
@@ -294,11 +326,16 @@ func (p *Proc) missCharge(a Addr, write bool, sh Sharing, overlap float64) {
 	cfg := &p.m.cfg
 	if cfg.FlatMemory {
 		// Ablation: uniform memory, no coherence (and no protocol
-		// transactions to count).
+		// transactions to count — nor, consistently, any paranoid
+		// miss/pricing oracle to run).
 		p.chargeLocal(cfg.Topology.LocalLatency)
 		return
 	}
-	p.missChargeHome(p.m.as.HomeOf(a), write, sh, overlap)
+	home := p.m.as.HomeOf(a)
+	if p.pc != nil {
+		p.pc.checkMiss(p, a, write, sh, home)
+	}
+	p.missChargeHome(home, write, sh, overlap)
 }
 
 // missChargeHome prices a (non-flat-memory) miss on a line homed at
@@ -330,9 +367,13 @@ func (p *Proc) chargeWriteback(a Addr) {
 		p.chargeLocal(cfg.Coherence.DirOccupancy)
 		return
 	}
+	home := p.m.as.HomeOf(a)
+	if p.pc != nil {
+		p.pc.checkWriteback(p, a, home)
+	}
 	p.countTx(trace.TxWriteback)
 	p.stats.Traffic.ProtocolTransactions++
-	e := &p.wbRow[p.m.as.HomeOf(a)]
+	e := &p.wbRow[home]
 	if e.remote {
 		p.stats.Traffic.RemoteBytes += e.trafficBytes
 		p.chargeRemote(e.latencyNs)
@@ -389,9 +430,13 @@ func (p *Proc) walkBlock(a Addr, bytes int, write bool, sh Sharing) {
 	overlap := cfg.MissOverlap
 	la := p.cache.LineAddr(a)
 	pageSize := Addr(cfg.TLB.PageSize)
-	if line > pageSize {
+	if line > pageSize || p.pc != nil {
 		// Degenerate geometry (line larger than page): no page run to
-		// hoist; take the per-access path.
+		// hoist; take the per-access path. Paranoid mode takes it too:
+		// routing every block access through the fully-hooked per-access
+		// path both shadows each reference individually and turns the
+		// byte-identical-outputs requirement into a whole-run
+		// differential test of the page-run hoisting below.
 		for ; la < end; la += line {
 			p.access(la, write, sh, overlap)
 		}
@@ -455,6 +500,9 @@ func (p *Proc) BulkTransfer(otherNode int, bytes int, dst Addr, intoCache bool) 
 		end := dst + Addr(bytes)
 		for la := p.cache.LineAddr(dst); la < end; la += line {
 			res := p.cache.Access(la, true)
+			if p.pc != nil {
+				p.pc.checkCacheAccess(p, la, true, res)
+			}
 			if res.WriteBack {
 				p.chargeWriteback(res.WritebackAddr)
 			}
@@ -468,7 +516,12 @@ func (p *Proc) CacheContains(a Addr) bool { return p.cache.Contains(a) }
 
 // InvalidateLine drops a line from this processor's cache (used when
 // another processor's write semantically invalidates it).
-func (p *Proc) InvalidateLine(a Addr) { p.cache.Invalidate(a) }
+func (p *Proc) InvalidateLine(a Addr) {
+	present, dirty := p.cache.Invalidate(a)
+	if p.pc != nil {
+		p.pc.checkInvalidate(p, a, present, dirty)
+	}
+}
 
 // InvalidateRange drops every line of [a, a+bytes) from this processor's
 // cache: another agent (an incoming message, a remote put) overwrote the
@@ -480,6 +533,9 @@ func (p *Proc) InvalidateRange(a Addr, bytes int) {
 	line := Addr(p.m.cfg.Cache.LineSize)
 	end := a + Addr(bytes)
 	for la := p.cache.LineAddr(a); la < end; la += line {
-		p.cache.Invalidate(la)
+		present, dirty := p.cache.Invalidate(la)
+		if p.pc != nil {
+			p.pc.checkInvalidate(p, la, present, dirty)
+		}
 	}
 }

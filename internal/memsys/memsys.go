@@ -303,6 +303,25 @@ func (as *AddressSpace) slowHomeOf(a cache.Addr) int {
 	return r.homeOf(int(a - r.base))
 }
 
+// ReferenceHomeOf is the paranoid-mode home oracle: it resolves a
+// through a fresh binary search over the region list and the owning
+// region's placement closure, bypassing both the flat page→home table
+// and the lastRegion memo. HomeOf must agree with it on every address
+// (the differential checker compares them per miss).
+func (as *AddressSpace) ReferenceHomeOf(a cache.Addr) int {
+	i := sort.Search(len(as.regions), func(i int) bool {
+		return as.regions[i].base > a
+	})
+	if i == 0 {
+		return 0
+	}
+	r := as.regions[i-1]
+	if !r.Contains(a) {
+		return 0
+	}
+	return r.homeOf(int(a - r.base))
+}
+
 // PageHome returns the home node of the page containing a when every
 // byte of that page resolves to one home, with ok reporting whether it
 // does. Block walks use it to hoist the home lookup out of their

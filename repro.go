@@ -141,6 +141,11 @@ type Experiment struct {
 	// Ablation flags (see DESIGN.md §4).
 	FlatMemory   bool
 	NoContention bool
+	// Paranoid shadows every simulated access with the reference models
+	// and invariant checks of internal/check (DESIGN.md §9). Outputs are
+	// byte-identical to a normal run; the host slows down severalfold,
+	// and Run fails with a structured error if any check is violated.
+	Paranoid bool
 	// Trace records a deterministic virtual-time event trace of the run
 	// (see DESIGN.md §7); the trace is attached to the Outcome.
 	Trace bool
@@ -166,6 +171,7 @@ func MachineConfigFor(e Experiment) machine.Config {
 		}
 		cfg.FlatMemory = e.FlatMemory
 		cfg.NoContention = e.NoContention
+		cfg.Paranoid = e.Paranoid
 		return cfg
 	}
 	cfg := machine.Origin2000Scaled(e.Procs)
@@ -175,6 +181,7 @@ func MachineConfigFor(e Experiment) machine.Config {
 	}
 	cfg.FlatMemory = e.FlatMemory
 	cfg.NoContention = e.NoContention
+	cfg.Paranoid = e.Paranoid
 	return cfg
 }
 
@@ -278,6 +285,11 @@ func Run(e Experiment) (*Outcome, error) {
 	}
 	if err := verifySorted(in, res.Sorted); err != nil {
 		return nil, fmt.Errorf("repro: %s/%s output invalid: %w", e.Algorithm, e.Model, err)
+	}
+	if ck := m.Checker(); ck != nil {
+		if cerr := ck.Err(); cerr != nil {
+			return nil, fmt.Errorf("repro: paranoid run of %s detected model violations: %w", e.Label(), cerr)
+		}
 	}
 	if tr := res.Run.Trace; tr != nil {
 		tr.Label = e.Label()
