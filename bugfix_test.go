@@ -1,0 +1,349 @@
+package repro
+
+// Regression tests for the long-lived-server hardening fixes: the
+// poisoned baseline error cache, the panic deadlock in the cell
+// scheduler, and the unbounded harness trace buffer. Each test fails
+// against the pre-fix code (stale error forever / hang / growth) and
+// pins the fixed behavior at serial and parallel settings.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/keys"
+)
+
+// TestBaselineErrorNotCached: a failed sequential baseline must not
+// poison its singleflight slot — the first call reports the injected
+// error, the second call re-attempts and succeeds.
+func TestBaselineErrorNotCached(t *testing.T) {
+	injected := errors.New("injected baseline failure")
+	h := NewHarness(Options{})
+	failures := 1
+	h.runBaseline = func(e Experiment) (*Outcome, error) {
+		if failures > 0 {
+			failures--
+			return nil, injected
+		}
+		return Run(e)
+	}
+	if _, err := h.BaselineTime(1<<12, keys.Gauss); !errors.Is(err, injected) {
+		t.Fatalf("first BaselineTime error = %v, want the injected failure", err)
+	}
+	if len(h.baseline) != 0 {
+		t.Fatalf("failed baseline left %d poisoned cache entries", len(h.baseline))
+	}
+	v, err := h.BaselineTime(1<<12, keys.Gauss)
+	if err != nil {
+		t.Fatalf("second BaselineTime still fails: %v (the error was cached)", err)
+	}
+	if v <= 0 {
+		t.Fatalf("second BaselineTime = %v, want a positive time", v)
+	}
+	// And the success is cached normally: no further run.
+	h.runBaseline = func(Experiment) (*Outcome, error) {
+		t.Error("cached success was recomputed")
+		return nil, errors.New("unreachable")
+	}
+	if v2, err := h.BaselineTime(1<<12, keys.Gauss); err != nil || v2 != v {
+		t.Fatalf("third BaselineTime = %v, %v; want cached %v", v2, err, v)
+	}
+}
+
+// TestBaselineErrorConcurrentRetry: every waiter of a failed flight
+// sees the error, and the key stays retryable under concurrency.
+func TestBaselineErrorConcurrentRetry(t *testing.T) {
+	injected := errors.New("injected baseline failure")
+	h := NewHarness(Options{})
+	var mu sync.Mutex
+	failures := 1
+	h.runBaseline = func(e Experiment) (*Outcome, error) {
+		mu.Lock()
+		fail := failures > 0
+		if fail {
+			failures--
+		}
+		mu.Unlock()
+		if fail {
+			return nil, injected
+		}
+		return Run(e)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	sawErr := make([]bool, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if _, err := h.BaselineTime(1<<12, keys.Gauss); err != nil {
+				if !errors.Is(err, injected) {
+					t.Errorf("worker %d: unexpected error %v", w, err)
+				}
+				sawErr[w] = true
+			}
+		}(w)
+	}
+	wg.Wait()
+	// However the flights interleaved, a retry after the dust settles
+	// must succeed.
+	if _, err := h.BaselineTime(1<<12, keys.Gauss); err != nil {
+		t.Fatalf("BaselineTime still failing after all workers done: %v", err)
+	}
+	if len(h.baseline) != 1 {
+		t.Errorf("baseline cache holds %d entries, want 1 (the final success)", len(h.baseline))
+	}
+}
+
+// panicErrorFrom digs the *PanicError out of an error.
+func panicErrorFrom(t *testing.T, err error) *PanicError {
+	t.Helper()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error is %T (%v), want *PanicError", err, err)
+	}
+	return pe
+}
+
+// TestForEachIndexPanicNoDeadlock is the deadlock regression: a body
+// that panics must come back as a structured error at 1 and 8 workers —
+// before the fix the panicking worker died, the submit loop blocked
+// forever on the work channel, and this test hung.
+func TestForEachIndexPanicNoDeadlock(t *testing.T) {
+	for _, par := range []int{1, 8} {
+		par := par
+		t.Run(fmt.Sprintf("par=%d", par), func(t *testing.T) {
+			const n = 64
+			ran := make([]bool, n)
+			done := make(chan []*PanicError, 1)
+			go func() {
+				done <- ForEachIndex(par, n, func(i int) {
+					ran[i] = true
+					if i == 5 || i == 23 {
+						panic(fmt.Sprintf("cell %d exploded", i))
+					}
+				})
+			}()
+			var panics []*PanicError
+			select {
+			case panics = <-done:
+			case <-time.After(30 * time.Second):
+				t.Fatal("ForEachIndex deadlocked on a panicking body")
+			}
+			if len(panics) != 2 {
+				t.Fatalf("got %d panic errors, want 2: %v", len(panics), panics)
+			}
+			// Sorted by cell index, each carrying value and stack.
+			for i, want := range []int{5, 23} {
+				pe := panics[i]
+				if pe.Index != want {
+					t.Errorf("panic %d has index %d, want %d", i, pe.Index, want)
+				}
+				if !strings.Contains(pe.Error(), fmt.Sprintf("cell %d exploded", want)) {
+					t.Errorf("panic error lost its value: %v", pe.Error())
+				}
+				if !strings.Contains(pe.Error(), "bugfix_test.go") {
+					t.Errorf("panic error carries no useful stack: %v", pe.Error())
+				}
+			}
+			// Every other cell still ran: the pool survived the panics.
+			for i, ok := range ran {
+				if !ok {
+					t.Errorf("cell %d never ran after an earlier panic", i)
+				}
+			}
+		})
+	}
+}
+
+// TestRunGridPanicStructuredError: a panic inside a harness grid cell
+// (injected via the baseline hook) surfaces as that cell's error from
+// the figure driver instead of hanging or unwinding, at -j 1 and -j 8.
+func TestRunGridPanicStructuredError(t *testing.T) {
+	for _, par := range []int{1, 8} {
+		h := NewHarness(Options{Sizes: SizeClasses[:1], Procs: []int{4}, Parallelism: par})
+		h.runBaseline = func(Experiment) (*Outcome, error) { panic("baseline exploded") }
+		done := make(chan error, 1)
+		go func() {
+			_, _, err := h.Table1()
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Fatalf("par=%d: Table1 with panicking cell returned nil error", par)
+			}
+			pe := panicErrorFrom(t, err)
+			if pe.Index != 0 || !strings.Contains(pe.Error(), "baseline exploded") {
+				t.Errorf("par=%d: panic error = index %d, %q", par, pe.Index, pe.Error())
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("par=%d: Table1 deadlocked on a panicking cell", par)
+		}
+	}
+}
+
+// TestRunEachPerCellErrors: RunEach reports each cell's own fate with
+// no first-error-wins collapse, in input order.
+func TestRunEachPerCellErrors(t *testing.T) {
+	exps := []Experiment{
+		{Algorithm: Radix, Model: SHMEM, N: 1 << 12, Procs: 4},
+		{Algorithm: Radix, Model: SHMEM, N: -1, Procs: 4},       // invalid N
+		{Algorithm: Radix, Model: SHMEM, N: 1 << 12, Procs: 2},
+		{Algorithm: Radix, Model: SHMEM, N: 1 << 12, Procs: 4, Radix: 30}, // invalid radix
+	}
+	for _, par := range []int{1, 8} {
+		outs, errs := RunEach(par, exps)
+		if len(outs) != len(exps) || len(errs) != len(exps) {
+			t.Fatalf("par=%d: got %d outs / %d errs for %d cells", par, len(outs), len(errs), len(exps))
+		}
+		for _, i := range []int{0, 2} {
+			if errs[i] != nil || outs[i] == nil {
+				t.Errorf("par=%d: valid cell %d: out=%v err=%v", par, i, outs[i], errs[i])
+			}
+		}
+		for i, want := range map[int]string{1: "N must be positive", 3: "Radix must be in"} {
+			if outs[i] != nil || errs[i] == nil || !strings.Contains(errs[i].Error(), want) {
+				t.Errorf("par=%d: invalid cell %d: out=%v err=%v", par, i, outs[i], errs[i])
+			}
+		}
+	}
+}
+
+// TestGridEarliestCellOrderErrorWins pins runGrid's multi-error rule:
+// the earliest failing cell in CELL order wins even when a later cell's
+// failure completes first in wall-clock. Cell 0 is a baseline that
+// fails slowly (injected); cell 1 is an experiment cell that fails
+// validation instantly.
+func TestGridEarliestCellOrderErrorWins(t *testing.T) {
+	errSlow := errors.New("slow early failure")
+	for _, par := range []int{1, 8} {
+		h := NewHarness(Options{Parallelism: par})
+		h.runBaseline = func(Experiment) (*Outcome, error) {
+			time.Sleep(100 * time.Millisecond)
+			return nil, errSlow
+		}
+		cells := []gridCell{
+			baselineCell(1<<12, keys.Gauss),
+			expCell(Experiment{Algorithm: Radix, Model: SHMEM, N: -1, Procs: 4}),
+		}
+		_, err := h.runGrid(cells)
+		if !errors.Is(err, errSlow) {
+			t.Errorf("par=%d: runGrid error = %v, want the slow cell-0 failure (cell order, not completion order)", par, err)
+		}
+	}
+}
+
+// TestGridInterleaveDeterministic: baseline and experiment cells
+// interleave in exact submission order in the result slice, with equal
+// values at -j 1 and -j 8.
+func TestGridInterleaveDeterministic(t *testing.T) {
+	build := func() []gridCell {
+		return []gridCell{
+			baselineCell(1<<12, keys.Gauss),
+			expCell(Experiment{Algorithm: Radix, Model: SHMEM, N: 1 << 12, Procs: 4, Radix: 8}),
+			baselineCell(1<<13, keys.Gauss),
+			expCell(Experiment{Algorithm: Sample, Model: CCSAS, N: 1 << 13, Procs: 4, Radix: 8}),
+			baselineCell(1<<12, keys.Gauss), // repeat: singleflight, same value
+		}
+	}
+	type snap struct {
+		base float64
+		time float64
+	}
+	run := func(par int) []snap {
+		h := NewHarness(Options{Parallelism: par})
+		res, err := h.runGrid(build())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []snap
+		for i, r := range res {
+			s := snap{base: r.base}
+			if r.out != nil {
+				s.time = r.out.TimeNs
+			}
+			// Cell parity: even indexes are baselines, odd are experiments.
+			if i%2 == 0 && (r.base <= 0 || r.out != nil) {
+				t.Errorf("par=%d cell %d: want baseline result, got %+v", par, i, r)
+			}
+			if i%2 == 1 && (r.out == nil || r.base != 0) {
+				t.Errorf("par=%d cell %d: want experiment result, got %+v", par, i, r)
+			}
+			out = append(out, s)
+		}
+		if res[0].base != res[4].base {
+			t.Errorf("par=%d: repeated baseline cells disagree: %v vs %v", par, res[0].base, res[4].base)
+		}
+		return out
+	}
+	j1 := run(1)
+	j8 := run(8)
+	for i := range j1 {
+		if j1[i] != j8[i] {
+			t.Errorf("cell %d differs between -j 1 and -j 8: %+v vs %+v", i, j1[i], j8[i])
+		}
+	}
+}
+
+// TestTakeTracesDrains pins the trace-buffer ownership rule: TakeTraces
+// hands each buffered trace out exactly once and clears the buffer, so
+// a long-lived process can run traced cells forever in bounded memory;
+// Traces keeps observing whatever is still buffered.
+func TestTakeTracesDrains(t *testing.T) {
+	h := NewHarness(Options{})
+	e := Experiment{Algorithm: Radix, Model: SHMEM, N: 1 << 12, Procs: 4, Radix: 8, Trace: true}
+	if _, err := h.RunExperiment(e); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(h.Traces()); got != 1 {
+		t.Fatalf("after one traced run, Traces() has %d entries, want 1", got)
+	}
+	taken := h.TakeTraces()
+	if len(taken) != 1 || taken[0] == nil {
+		t.Fatalf("TakeTraces returned %d traces, want 1", len(taken))
+	}
+	if got := len(h.Traces()); got != 0 {
+		t.Errorf("after drain, Traces() still sees %d entries", got)
+	}
+	if again := h.TakeTraces(); len(again) != 0 {
+		t.Errorf("second TakeTraces returned %d traces, want 0", len(again))
+	}
+	// New runs refill the (drained) buffer.
+	if _, err := h.RunExperiment(e); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(h.TakeTraces()); got != 1 {
+		t.Errorf("buffer did not refill after drain: %d", got)
+	}
+}
+
+// TestRunExperimentHonorsRequestFields: unlike the figure drivers,
+// RunExperiment must run the experiment exactly as given — its own
+// Seed, not the harness Options' — while still counting Stats.
+func TestRunExperimentHonorsRequestFields(t *testing.T) {
+	h := NewHarness(Options{Seed: 999})
+	e := Experiment{Algorithm: Radix, Model: SHMEM, N: 1 << 12, Procs: 4, Radix: 8, Seed: 7}
+	got, err := h.RunExperiment(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TimeNs != want.TimeNs {
+		t.Errorf("RunExperiment TimeNs %v != direct Run %v (harness overrode the seed?)", got.TimeNs, want.TimeNs)
+	}
+	if got.Experiment.Seed != 7 {
+		t.Errorf("outcome seed = %d, want the request's 7", got.Experiment.Seed)
+	}
+	st := h.Stats()
+	if st.Runs != 1 || st.SimNs != got.TimeNs {
+		t.Errorf("Stats = %+v, want 1 run of %v ns", st, got.TimeNs)
+	}
+}

@@ -1,0 +1,371 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// newTestServer builds a server plus an httptest front end.
+func newTestServer(t *testing.T, cfg serverConfig) (*server, *httptest.Server) {
+	t.Helper()
+	s, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// tinyRun is a request small enough to simulate in milliseconds.
+func tinyRun(seed uint64) experimentRequest {
+	return experimentRequest{Algorithm: "radix", Model: "shmem", N: 1 << 12, Procs: 4, Seed: seed}
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func readAll(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRunColdWarmByteIdentical: the warm response must be the cold
+// response's exact bytes, served as a cache hit without resimulating.
+func TestRunColdWarmByteIdentical(t *testing.T) {
+	s, ts := newTestServer(t, serverConfig{})
+	cold := postJSON(t, ts.URL+"/v1/run", tinyRun(1))
+	if cold.StatusCode != http.StatusOK {
+		t.Fatalf("cold status %d", cold.StatusCode)
+	}
+	if got := cold.Header.Get("X-Simd-Cache"); got != "miss" {
+		t.Errorf("cold X-Simd-Cache = %q, want miss", got)
+	}
+	coldBody := readAll(t, cold)
+
+	warm := postJSON(t, ts.URL+"/v1/run", tinyRun(1))
+	if got := warm.Header.Get("X-Simd-Cache"); got != "hit" {
+		t.Errorf("warm X-Simd-Cache = %q, want hit", got)
+	}
+	warmBody := readAll(t, warm)
+	if !bytes.Equal(coldBody, warmBody) {
+		t.Errorf("warm body differs from cold body:\ncold: %s\nwarm: %s", coldBody, warmBody)
+	}
+	if runs := s.h.Stats().Runs; runs != 1 {
+		t.Errorf("harness ran %d simulations for two identical requests, want 1", runs)
+	}
+	var doc runResult
+	if err := json.Unmarshal(coldBody, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if !doc.Verified || doc.TimeNs <= 0 || len(doc.Breakdowns) != 4 {
+		t.Errorf("result document malformed: %+v", doc)
+	}
+	if doc.Key != cold.Header.Get("X-Simd-Key") {
+		t.Errorf("document key %q != header key %q", doc.Key, cold.Header.Get("X-Simd-Key"))
+	}
+}
+
+// TestRunValidation maps every malformed request to 400.
+func TestRunValidation(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{MaxN: 1 << 16})
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"empty", `{}`},
+		{"bad json", `{"algorithm":`},
+		{"unknown field", `{"algorithm":"radix","model":"shmem","n":4096,"procs":4,"bogus":1}`},
+		{"trailing data", `{"algorithm":"radix","model":"shmem","n":4096,"procs":4} {}`},
+		{"unknown algorithm", `{"algorithm":"bogo","model":"shmem","n":4096,"procs":4}`},
+		{"unknown model", `{"algorithm":"radix","model":"openmp","n":4096,"procs":4}`},
+		{"unknown dist", `{"algorithm":"radix","model":"shmem","n":4096,"procs":4,"dist":"weird"}`},
+		{"zero n", `{"algorithm":"radix","model":"shmem","n":0,"procs":4}`},
+		{"n over max", `{"algorithm":"radix","model":"shmem","n":131072,"procs":4}`},
+		{"zero procs", `{"algorithm":"radix","model":"shmem","n":4096,"procs":0}`},
+		{"procs over max", `{"algorithm":"radix","model":"shmem","n":4096,"procs":2048}`},
+		{"radix out of range", `{"algorithm":"radix","model":"shmem","n":4096,"procs":4,"radix":25}`},
+		{"seq with procs", `{"algorithm":"radix","model":"seq","n":4096,"procs":4}`},
+		{"seq sample", `{"algorithm":"sample","model":"seq","n":4096,"procs":1}`},
+		{"sample ccsas-new", `{"algorithm":"sample","model":"ccsas-new","n":4096,"procs":4}`},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := readAll(t, resp)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (body %s)", tc.name, resp.StatusCode, body)
+			continue
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error envelope missing: %s", tc.name, body)
+		}
+	}
+}
+
+// TestRunTraceMetrics: trace:true embeds deterministic flat metrics and
+// the server drains the harness trace buffer (the unbounded-growth
+// bugfix's service-side contract).
+func TestRunTraceMetrics(t *testing.T) {
+	s, ts := newTestServer(t, serverConfig{})
+	req := tinyRun(3)
+	req.Trace = true
+	first := readAll(t, postJSON(t, ts.URL+"/v1/run", req))
+	var doc runResult
+	if err := json.Unmarshal(first, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Metrics) == 0 {
+		t.Fatal("traced run returned no metrics")
+	}
+	if doc.Metrics["breakdown.busy_ns"] <= 0 {
+		t.Errorf("metrics lack breakdown.busy_ns: %v", doc.Metrics)
+	}
+	if got := len(s.h.Traces()); got != 0 {
+		t.Errorf("harness buffer holds %d traces after a traced request, want 0 (drained)", got)
+	}
+	// An untraced request for the same config is a different document
+	// (trace is part of the cache key), still deterministic.
+	req2 := tinyRun(3)
+	second := readAll(t, postJSON(t, ts.URL+"/v1/run", req2))
+	if bytes.Equal(first, second) {
+		t.Error("traced and untraced documents share cache entries")
+	}
+}
+
+// TestResultEndpoint round-trips the content address.
+func TestResultEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{})
+	resp := postJSON(t, ts.URL+"/v1/run", tinyRun(5))
+	key := resp.Header.Get("X-Simd-Key")
+	body := readAll(t, resp)
+
+	got, err := http.Get(ts.URL + "/v1/result/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.StatusCode != http.StatusOK {
+		t.Fatalf("GET result: status %d", got.StatusCode)
+	}
+	if !bytes.Equal(readAll(t, got), body) {
+		t.Error("GET /v1/result bytes differ from the run response")
+	}
+
+	missing, err := http.Get(ts.URL + "/v1/result/sha256:" + strings.Repeat("a", 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, missing)
+	if missing.StatusCode != http.StatusNotFound {
+		t.Errorf("absent key: status %d, want 404", missing.StatusCode)
+	}
+
+	bad, err := http.Get(ts.URL + "/v1/result/not-a-hash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, bad)
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed key: status %d, want 400", bad.StatusCode)
+	}
+}
+
+// TestGridPerCellErrors: one batch mixing good cells, a runtime-failing
+// cell (procs=3 passes validation, fails in the topology), and
+// duplicates. Every cell reports exactly once; failures stay per-cell.
+func TestGridPerCellErrors(t *testing.T) {
+	s, ts := newTestServer(t, serverConfig{Jobs: 4})
+	grid := gridRequest{Cells: []experimentRequest{
+		tinyRun(1),
+		{Algorithm: "radix", Model: "shmem", N: 1 << 12, Procs: 3}, // topology rejects procs=3
+		tinyRun(2),
+		tinyRun(1), // duplicate of cell 0: must not resimulate
+	}}
+	resp := postJSON(t, ts.URL+"/v1/grid", grid)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("grid status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type %q", ct)
+	}
+	defer resp.Body.Close()
+	seen := make(map[int]gridCellStatus)
+	var summary gridSummary
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var st gridCellStatus
+		if err := json.Unmarshal(line, &st); err != nil {
+			t.Fatalf("bad NDJSON line %s: %v", line, err)
+		}
+		var sum gridSummary
+		json.Unmarshal(line, &sum)
+		if sum.Done {
+			summary = sum
+			continue
+		}
+		if _, dup := seen[st.Index]; dup {
+			t.Errorf("cell %d reported twice", st.Index)
+		}
+		seen[st.Index] = st
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 4 {
+		t.Fatalf("got %d cell lines, want 4 (%v)", len(seen), seen)
+	}
+	for _, i := range []int{0, 2, 3} {
+		if seen[i].Error != "" || seen[i].TimeNs <= 0 {
+			t.Errorf("cell %d should have succeeded: %+v", i, seen[i])
+		}
+	}
+	if seen[1].Error == "" || !strings.Contains(seen[1].Error, "topology") {
+		t.Errorf("cell 1 should carry the topology error, got %+v", seen[1])
+	}
+	if summary.Cells != 4 || summary.OK != 3 || summary.Errors != 1 {
+		t.Errorf("summary = %+v, want 4 cells / 3 ok / 1 error", summary)
+	}
+	// Cells 0 and 3 are identical: exactly 2 unique simulations ran.
+	if runs := s.h.Stats().Runs; runs != 2 {
+		t.Errorf("harness ran %d simulations, want 2 (dedup of duplicate cells)", runs)
+	}
+}
+
+// TestGridValidation: malformed batches are rejected whole, 4xx.
+func TestGridValidation(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{MaxGridCells: 2})
+	for name, body := range map[string]string{
+		"empty":     `{"cells":[]}`,
+		"bad cell":  `{"cells":[{"algorithm":"radix","model":"shmem","n":0,"procs":4}]}`,
+		"too large": `{"cells":[{"algorithm":"radix","model":"shmem","n":4096,"procs":4},{"algorithm":"radix","model":"shmem","n":4096,"procs":4},{"algorithm":"radix","model":"shmem","n":4096,"procs":4}]}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/grid", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		readAll(t, resp)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+// TestPanicContainment: a panicking simulation becomes a 500 for that
+// request only — the server stays up, the key is not poisoned, and the
+// next request for the same config succeeds.
+func TestPanicContainment(t *testing.T) {
+	s, ts := newTestServer(t, serverConfig{})
+	real := s.simulate
+	s.simulate = func(e repro.Experiment) (*repro.Outcome, error) {
+		panic(fmt.Sprintf("injected panic for n=%d", e.N))
+	}
+	resp := postJSON(t, ts.URL+"/v1/run", tinyRun(9))
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking run: status %d, want 500 (body %s)", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "injected panic") {
+		t.Errorf("500 body does not carry the panic: %s", body)
+	}
+
+	s.simulate = real
+	resp = postJSON(t, ts.URL+"/v1/run", tinyRun(9))
+	readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("after panic, same config: status %d, want 200 (error poisoned the cache?)", resp.StatusCode)
+	}
+
+	// Same containment through /v1/grid: the panic surfaces as that
+	// cell's error while other cells complete.
+	s.simulate = func(e repro.Experiment) (*repro.Outcome, error) {
+		if e.Seed == 77 {
+			panic("injected grid panic")
+		}
+		return real(e)
+	}
+	gresp := postJSON(t, ts.URL+"/v1/grid", gridRequest{Cells: []experimentRequest{tinyRun(77), tinyRun(78)}})
+	glines := readAll(t, gresp)
+	if gresp.StatusCode != http.StatusOK {
+		t.Fatalf("grid with panicking cell: status %d", gresp.StatusCode)
+	}
+	if !strings.Contains(string(glines), "injected grid panic") {
+		t.Errorf("grid stream does not report the panicking cell: %s", glines)
+	}
+	if !strings.Contains(string(glines), `"done":true`) {
+		t.Errorf("grid stream has no summary: %s", glines)
+	}
+	s.simulate = real
+}
+
+// TestHealthzStatsz sanity-checks the operational endpoints.
+func TestHealthzStatsz(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readAll(t, resp); resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"ok":true`) {
+		t.Errorf("healthz: %d %s", resp.StatusCode, body)
+	}
+
+	readAll(t, postJSON(t, ts.URL+"/v1/run", tinyRun(11)))
+	resp, err = http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st statszResponse
+	if err := json.Unmarshal(readAll(t, resp), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Harness.Runs != 1 || st.Harness.SimNs <= 0 {
+		t.Errorf("statsz harness = %+v, want 1 run with positive sim time", st.Harness)
+	}
+	if st.Cache.Computed != 1 {
+		t.Errorf("statsz cache = %+v, want 1 computed", st.Cache)
+	}
+	if st.CodeVersion == "" || st.Jobs < 1 {
+		t.Errorf("statsz metadata incomplete: %+v", st)
+	}
+}
+
+// TestMethodNotAllowed: the mux's method patterns reject mismatches.
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{})
+	resp, err := http.Get(ts.URL + "/v1/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, resp)
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/run: status %d, want 405", resp.StatusCode)
+	}
+}

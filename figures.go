@@ -103,6 +103,11 @@ type Harness struct {
 	// Parallelism.
 	traceMu sync.Mutex
 	traces  []*trace.Trace
+
+	// runBaseline is the function BaselineTime uses to execute the
+	// sequential experiment (nil selects Run). Tests stub it to inject
+	// failures into the singleflight slots.
+	runBaseline func(Experiment) (*Outcome, error)
 }
 
 type baselineKey struct {
@@ -119,14 +124,15 @@ type baselineEntry struct {
 	err    error
 }
 
-// HarnessStats counts the work a harness has executed so far.
+// HarnessStats counts the work a harness has executed so far. The JSON
+// field names are part of cmd/simd's /statsz response.
 type HarnessStats struct {
 	// Runs is the number of completed experiment runs, including cached
 	// sequential baselines (each baseline counts once, however many
 	// drivers consume it).
-	Runs int
+	Runs int `json:"runs"`
 	// SimNs is the total simulated virtual time across those runs.
-	SimNs float64
+	SimNs float64 `json:"sim_ns"`
 }
 
 // Stats returns a snapshot of the harness's work counters. Diffing two
@@ -173,6 +179,11 @@ func (h *Harness) sizeN(s SizeClass) int {
 // BaselineTime is safe for concurrent use and singleflight-deduplicated:
 // when several grid cells need the same baseline at once, exactly one
 // goroutine runs the sequential experiment and the rest wait for it.
+//
+// Only successes are cached. A failed run's entry is dropped before
+// BaselineTime returns, so the next caller retries instead of being
+// served the stale error forever (internal/resultcache applies the same
+// errors-are-never-cached rule to its content-addressed store).
 func (h *Harness) BaselineTime(n int, dist keys.Dist) (float64, error) {
 	k := baselineKey{n: n, dist: dist, radix: 8, seed: h.opts.Seed}
 	h.mu.Lock()
@@ -183,7 +194,11 @@ func (h *Harness) BaselineTime(n int, dist keys.Dist) (float64, error) {
 	}
 	h.mu.Unlock()
 	e.once.Do(func() {
-		out, err := Run(Experiment{
+		runFn := h.runBaseline
+		if runFn == nil {
+			runFn = Run
+		}
+		out, err := runFn(Experiment{
 			Algorithm: Radix, Model: Seq, N: n, Procs: 1, Radix: 8,
 			Dist: dist, Seed: h.opts.Seed, FullSize: h.opts.FullSize,
 			Paranoid: h.opts.Paranoid,
@@ -196,17 +211,66 @@ func (h *Harness) BaselineTime(n int, dist keys.Dist) (float64, error) {
 		h.progress("baseline n=%d dist=%v: %s", n, dist, report.Ms(out.TimeNs))
 		e.timeNs = out.TimeNs
 	})
+	if e.err != nil {
+		// Drop the poisoned entry so the next caller retries; the map may
+		// already hold a fresh entry from a later caller, so only delete
+		// our own.
+		h.mu.Lock()
+		if h.baseline[k] == e {
+			delete(h.baseline, k)
+		}
+		h.mu.Unlock()
+	}
 	return e.timeNs, e.err
 }
 
-// Traces returns the event traces collected so far (opts.Trace must be
-// set), in the deterministic order the drivers submitted their cells.
+// Traces returns a copy of the event traces collected so far
+// (opts.Trace must be set), in the deterministic order the drivers
+// submitted their cells. The harness keeps its buffer: Traces is for
+// one-shot drivers (cmd/paperfigs) that inspect the full set after a
+// run. Long-lived processes should drain with TakeTraces instead, or
+// the buffer grows without bound.
 func (h *Harness) Traces() []*trace.Trace {
 	h.traceMu.Lock()
 	defer h.traceMu.Unlock()
 	out := make([]*trace.Trace, len(h.traces))
 	copy(out, h.traces)
 	return out
+}
+
+// TakeTraces drains the collected traces, transferring ownership to the
+// caller and leaving the harness's buffer empty. Long-lived processes
+// (cmd/simd) call this after each traced run so trace memory is bounded
+// by in-flight work, not process lifetime.
+func (h *Harness) TakeTraces() []*trace.Trace {
+	h.traceMu.Lock()
+	defer h.traceMu.Unlock()
+	out := h.traces
+	h.traces = nil
+	return out
+}
+
+// RunExperiment executes one fully-specified experiment, counting it in
+// the harness's stats and progress stream. Unlike the figure drivers, it
+// honors the experiment's own Seed, FullSize, Trace and Paranoid fields
+// rather than folding in harness options — it is the entry point for
+// callers (cmd/simd) whose requests carry those settings per cell. When
+// e.Trace is set the trace is retained on the harness; long-lived
+// callers should drain it with TakeTraces.
+func (h *Harness) RunExperiment(e Experiment) (*Outcome, error) {
+	out, err := Run(e)
+	if err != nil {
+		return nil, err
+	}
+	h.note(out.TimeNs)
+	h.progress("%-6s %-9s n=%-8d p=%-2d r=%-2d %-7v  %s",
+		e.Algorithm, e.Model, e.N, e.Procs, e.Radix, e.Dist, report.Ms(out.TimeNs))
+	if tr := out.Trace(); tr != nil {
+		h.traceMu.Lock()
+		h.traces = append(h.traces, tr)
+		h.traceMu.Unlock()
+	}
+	return out, nil
 }
 
 // run executes one experiment with harness-wide settings folded in.

@@ -17,36 +17,87 @@ package repro
 // singleflight entries below) and the Progress callback (serialized).
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
+	"sort"
 	"sync"
 
 	"repro/internal/keys"
 )
 
-// forEachIndex runs fn(i) for every i in [0, n) on at most par worker
+// PanicError is a panic recovered from one scheduled cell body,
+// converted into a structured error: the index of the cell whose body
+// panicked, the recovered panic value, and the goroutine stack captured
+// at the recovery point. ForEachIndex recovers every cell panic this
+// way, so a panicking cell is reported like any other failing cell
+// instead of killing a pool worker (which would leave the submit loop
+// blocked forever — the pre-fix deadlock).
+type PanicError struct {
+	Index int
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("repro: cell %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
+}
+
+// ForEachIndex runs fn(i) for every i in [0, n) on at most par worker
 // goroutines and returns when all calls completed. par < 1 selects
 // runtime.GOMAXPROCS(0).
-func forEachIndex(par, n int, fn func(i int)) {
+//
+// A panic in fn is recovered around that single call and returned as a
+// *PanicError: the worker survives, every remaining index still runs,
+// and the submitting loop cannot deadlock on a dead pool. The par <= 1
+// inline path recovers identically, so a panicking body produces the
+// same structured errors at any parallelism instead of unwinding the
+// caller. The returned slice is sorted by cell index (nil when no cell
+// panicked).
+//
+// This is the harness's cell scheduler, exported so long-running
+// services (cmd/simd) can schedule their own bounded grids with the
+// same panic containment.
+func ForEachIndex(par, n int, fn func(i int)) []*PanicError {
+	guard := func(i int) (pe *PanicError) {
+		defer func() {
+			if r := recover(); r != nil {
+				pe = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+			}
+		}()
+		fn(i)
+		return nil
+	}
 	if par < 1 {
 		par = runtime.GOMAXPROCS(0)
 	}
 	if par > n {
 		par = n
 	}
+	var panics []*PanicError
 	if par <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			if pe := guard(i); pe != nil {
+				panics = append(panics, pe)
+			}
 		}
-		return
+		return panics
 	}
 	idx := make(chan int)
-	var wg sync.WaitGroup
+	var (
+		wg      sync.WaitGroup
+		panicMu sync.Mutex
+	)
 	for w := 0; w < par; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				fn(i)
+				if pe := guard(i); pe != nil {
+					panicMu.Lock()
+					panics = append(panics, pe)
+					panicMu.Unlock()
+				}
 			}
 		}()
 	}
@@ -55,6 +106,8 @@ func forEachIndex(par, n int, fn func(i int)) {
 	}
 	close(idx)
 	wg.Wait()
+	sort.Slice(panics, func(a, b int) bool { return panics[a].Index < panics[b].Index })
+	return panics
 }
 
 // RunAll executes the experiments concurrently on at most parallelism
@@ -63,19 +116,32 @@ func forEachIndex(par, n int, fn func(i int)) {
 // pure function of each experiment's inputs — independent of host
 // scheduling — so the outcomes are identical at any parallelism. If any
 // experiment fails, the error of the earliest failing cell (in input
-// order) is returned.
+// order, not completion order) is returned; use RunEach when every
+// cell's individual error matters.
 func RunAll(parallelism int, exps []Experiment) ([]*Outcome, error) {
-	outs := make([]*Outcome, len(exps))
-	errs := make([]error, len(exps))
-	forEachIndex(parallelism, len(exps), func(i int) {
-		outs[i], errs[i] = Run(exps[i])
-	})
+	outs, errs := RunEach(parallelism, exps)
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
 	}
 	return outs, nil
+}
+
+// RunEach is RunAll without the first-error-wins collapse: it returns
+// per-cell outcomes and errors, both in input order, with exactly one of
+// outs[i]/errs[i] set per cell. Batch services (cmd/simd's /v1/grid) use
+// it to report every cell's fate instead of aborting a whole batch on
+// the first bad cell. A panicking cell yields a *PanicError in its slot.
+func RunEach(parallelism int, exps []Experiment) (outs []*Outcome, errs []error) {
+	outs = make([]*Outcome, len(exps))
+	errs = make([]error, len(exps))
+	for _, pe := range ForEachIndex(parallelism, len(exps), func(i int) {
+		outs[i], errs[i] = Run(exps[i])
+	}) {
+		outs[pe.Index], errs[pe.Index] = nil, pe
+	}
+	return outs, errs
 }
 
 // gridCell is one unit of work submitted to the harness scheduler:
@@ -106,11 +172,12 @@ type gridResult struct {
 // Every figure/table driver submits its grid here and consumes the
 // results in the same deterministic order it submitted them, so the
 // rendered output never depends on scheduling. On failure the earliest
-// failing cell's error (in cell order) is returned.
+// failing cell's error (in cell order, not completion order) is
+// returned; a panicking cell counts as failing with a *PanicError.
 func (h *Harness) runGrid(cells []gridCell) ([]gridResult, error) {
 	results := make([]gridResult, len(cells))
 	errs := make([]error, len(cells))
-	forEachIndex(h.opts.Parallelism, len(cells), func(i int) {
+	for _, pe := range ForEachIndex(h.opts.Parallelism, len(cells), func(i int) {
 		c := cells[i]
 		if c.baseline {
 			t, err := h.BaselineTime(c.exp.N, c.exp.Dist)
@@ -119,7 +186,9 @@ func (h *Harness) runGrid(cells []gridCell) ([]gridResult, error) {
 		}
 		out, err := h.run(c.exp)
 		results[i], errs[i] = gridResult{out: out}, err
-	})
+	}) {
+		results[pe.Index], errs[pe.Index] = gridResult{}, pe
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
