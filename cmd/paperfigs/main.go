@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	paperfigs [-exp all|table1|fig1|...|table23] [-sizes 1M,4M,16M]
+//	paperfigs [-exp all|table1|fig1|...|figpsrs|table23] [-sizes 1M,4M,16M]
 //	          [-procs 16,32,64] [-seed N] [-j N] [-benchjson] [-v]
 //	          [-paranoid] [-trace out.json] [-cpuprofile out.pprof]
 //
@@ -73,6 +73,7 @@ var runners = []figureRun{
 	{"fig2", speedupRunner((*repro.Harness).Figure2)},
 	{"fig3", speedupRunner((*repro.Harness).Figure3)},
 	{"fig7", speedupRunner((*repro.Harness).Figure7)},
+	{"figpsrs", speedupRunner((*repro.Harness).FigurePSRS)},
 	{"fig4", breakdownRunner((*repro.Harness).Figure4)},
 	{"fig8", breakdownRunner((*repro.Harness).Figure8)},
 	{"fig5", relativeRunner((*repro.Harness).Figure5)},
@@ -150,7 +151,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("paperfigs", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp       = fs.String("exp", "all", "experiment: all, table1, fig1..fig10, table23")
+		exp       = fs.String("exp", "all", "experiment: all, table1, fig1..fig10, figpsrs, table23")
 		sizes     = fs.String("sizes", "", "comma-separated size classes (1M,4M,16M,64M,256M); default all")
 		procs     = fs.String("procs", "", "comma-separated processor counts; default 16,32,64")
 		radixes   = fs.String("radixes", "", "comma-separated radix sweep for fig6/fig10; default 6..12")
@@ -187,7 +188,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("-j must be >= 1, got %d", *par)
 	}
 	if !validExp(*exp) {
-		return fmt.Errorf("unknown experiment %q (want all, table1, fig1..fig10, or table23)", *exp)
+		return fmt.Errorf("unknown experiment %q (want all, table1, fig1..fig10, figpsrs, or table23)", *exp)
 	}
 
 	opts := repro.Options{Seed: *seed, Parallelism: *par, Trace: *traceTo != "", Paranoid: *paranoid}

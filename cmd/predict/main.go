@@ -2,6 +2,8 @@
 // stated future work): given a machine and a radix-sort workload, it
 // predicts each programming model's execution time and phase breakdown
 // without simulating, and optionally validates against the simulator.
+// The analytic model covers radix sort only; sample sort and PSRS runs
+// must go through the simulator (sortbench, paperfigs).
 //
 // Usage:
 //

@@ -111,6 +111,8 @@ func TestRunValidation(t *testing.T) {
 		{"seq with procs", `{"algorithm":"radix","model":"seq","n":4096,"procs":4}`},
 		{"seq sample", `{"algorithm":"sample","model":"seq","n":4096,"procs":1}`},
 		{"sample ccsas-new", `{"algorithm":"sample","model":"ccsas-new","n":4096,"procs":4}`},
+		{"seq psrs", `{"algorithm":"psrs","model":"seq","n":4096,"procs":1}`},
+		{"psrs ccsas-new", `{"algorithm":"psrs","model":"ccsas-new","n":4096,"procs":4}`},
 	}
 	for _, tc := range cases {
 		resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(tc.body))
@@ -127,6 +129,28 @@ func TestRunValidation(t *testing.T) {
 		}
 		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
 			t.Errorf("%s: error envelope missing: %s", tc.name, body)
+		}
+	}
+}
+
+// TestRunPsrs: the service accepts the PSRS programs added beyond the
+// paper's eight; a psrs cell must simulate, verify, and cache like any
+// other algorithm/model combination.
+func TestRunPsrs(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{})
+	for _, model := range []string{"ccsas", "mpi", "shmem"} {
+		resp := postJSON(t, ts.URL+"/v1/run", experimentRequest{
+			Algorithm: "psrs", Model: model, N: 1 << 12, Procs: 4, Seed: 1,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("psrs-%s status %d: %s", model, resp.StatusCode, readAll(t, resp))
+		}
+		var doc runResult
+		if err := json.Unmarshal(readAll(t, resp), &doc); err != nil {
+			t.Fatal(err)
+		}
+		if !doc.Verified || doc.TimeNs <= 0 {
+			t.Errorf("psrs-%s result malformed: %+v", model, doc)
 		}
 	}
 }

@@ -65,7 +65,7 @@ type benchFile struct {
 
 func main() {
 	var (
-		algo       = flag.String("algo", "radix", "algorithm: radix or sample")
+		algo       = flag.String("algo", "radix", "algorithm: radix, sample, or psrs")
 		model      = flag.String("model", "shmem", "model: seq, ccsas, ccsas-new, mpi, mpi-sgi, shmem")
 		n          = flag.Int("n", 1<<18, "key count")
 		procs      = flag.Int("procs", 16, "processor count (power of two)")

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	sweep -kind radix|bufdepth|flatmem|nocontention
-//	      [-algo radix] [-model shmem] [-n N] [-procs P] [-dist gauss]
+//	      [-algo radix|sample|psrs] [-model shmem] [-n N] [-procs P] [-dist gauss]
 //	      [-j N]
 //
 // Sweep points are independent deterministic simulations; -j runs them
@@ -27,7 +27,7 @@ import (
 func main() {
 	var (
 		kind  = flag.String("kind", "radix", "sweep kind: radix, bufdepth, flatmem, nocontention")
-		algo  = flag.String("algo", "radix", "algorithm")
+		algo  = flag.String("algo", "radix", "algorithm: radix, sample, or psrs")
 		model = flag.String("model", "shmem", "model")
 		n     = flag.Int("n", 1<<18, "key count")
 		procs = flag.Int("procs", 16, "processor count")

@@ -323,12 +323,19 @@ func (f *SpeedupFigure) Table() *report.Table {
 	return t
 }
 
-// speedupFigure sweeps a set of (algorithm, model, label) variants.
-func (h *Harness) speedupFigure(title string, alg Algorithm,
-	variants []struct {
-		Label string
-		Model Model
-	}) (*SpeedupFigure, error) {
+// speedupVariant is one series of a speedup figure: a label and the
+// (algorithm, model) pair it runs. Allowing the algorithm to vary per
+// series is what lets FigurePSRS put PSRS and sample sort on one grid.
+type speedupVariant struct {
+	Label string
+	Alg   Algorithm
+	Model Model
+}
+
+// speedupFigureVariants sweeps arbitrary (algorithm, model) series over
+// the sizes × processor-counts grid, all against the shared sequential
+// radix baseline.
+func (h *Harness) speedupFigureVariants(title string, variants []speedupVariant) (*SpeedupFigure, error) {
 	f := &SpeedupFigure{
 		Title:   title,
 		Procs:   h.opts.Procs,
@@ -346,7 +353,7 @@ func (h *Harness) speedupFigure(title string, alg Algorithm,
 		for _, p := range h.opts.Procs {
 			for _, v := range variants {
 				cells = append(cells, expCell(Experiment{
-					Algorithm: alg, Model: v.Model, N: n, Procs: p, Radix: 8, Dist: keys.Gauss,
+					Algorithm: v.Alg, Model: v.Model, N: n, Procs: p, Radix: 8, Dist: keys.Gauss,
 				}))
 			}
 		}
@@ -365,6 +372,19 @@ func (h *Harness) speedupFigure(title string, alg Algorithm,
 		}
 	}
 	return f, nil
+}
+
+// speedupFigure sweeps a set of models of a single algorithm.
+func (h *Harness) speedupFigure(title string, alg Algorithm,
+	variants []struct {
+		Label string
+		Model Model
+	}) (*SpeedupFigure, error) {
+	vs := make([]speedupVariant, len(variants))
+	for i, v := range variants {
+		vs[i] = speedupVariant{Label: v.Label, Alg: alg, Model: v.Model}
+	}
+	return h.speedupFigureVariants(title, vs)
 }
 
 // Table1 reproduces the sequential radix sort times for the Gauss
@@ -427,6 +447,24 @@ func (h *Harness) Figure7() (*SpeedupFigure, error) {
 			Label string
 			Model Model
 		}{{"SHMEM", SHMEM}, {"CC-SAS", CCSAS}, {"MPI", MPI}})
+}
+
+// FigurePSRS puts PSRS and the splitter-based sample sort on one
+// speedup grid across the three programming models — a beyond-paper
+// section (DESIGN.md §11): the two algorithms share every phase except
+// pivot selection (gather/broadcast through the root vs group splitter
+// election) and the finish (multiway merge vs second local radix sort),
+// so the grid isolates exactly those two communication shapes.
+func (h *Harness) FigurePSRS() (*SpeedupFigure, error) {
+	return h.speedupFigureVariants("Figure P: PSRS vs sample sort speedups across models",
+		[]speedupVariant{
+			{"PSRS-SHMEM", Psrs, SHMEM},
+			{"PSRS-CC-SAS", Psrs, CCSAS},
+			{"PSRS-MPI", Psrs, MPI},
+			{"SMPL-SHMEM", Sample, SHMEM},
+			{"SMPL-CC-SAS", Sample, CCSAS},
+			{"SMPL-MPI", Sample, MPI},
+		})
 }
 
 // BreakdownFigure holds per-processor time decompositions for several

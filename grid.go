@@ -2,7 +2,8 @@ package repro
 
 // The concurrent experiment scheduler. The paper's evaluation is a large
 // grid of independent deterministic simulations — {algorithm × model ×
-// size × processors × radix} — and, just as the paper's sorts exploit
+// size × processors × radix}, where algorithm now spans radix, sample,
+// and PSRS — and, just as the paper's sorts exploit
 // that permutation work is independent per processor, the harness
 // exploits that the grid is independent per cell: cells run on a bounded
 // worker pool and results are gathered in submission order, so every

@@ -19,6 +19,7 @@ import (
 	"repro"
 	"repro/internal/check"
 	"repro/internal/machine"
+	"repro/internal/sorts"
 )
 
 // TestParanoidAllPrograms is the differential suite: all program
@@ -41,6 +42,10 @@ func TestParanoidAllPrograms(t *testing.T) {
 		{repro.Sample, repro.MPI},
 		{repro.Sample, repro.MPISGI},
 		{repro.Sample, repro.SHMEM},
+		{repro.Psrs, repro.CCSAS},
+		{repro.Psrs, repro.MPI},
+		{repro.Psrs, repro.MPISGI},
+		{repro.Psrs, repro.SHMEM},
 	}
 	procs := []int{1, 4, 16}
 	if testing.Short() {
@@ -135,6 +140,45 @@ func TestMutationPriceTable(t *testing.T) {
 	}
 	if err := ck.Err(); err == nil || !strings.Contains(err.Error(), "price-mismatch") {
 		t.Errorf("Err() = %v, want a price-mismatch violation", err)
+	}
+}
+
+// TestMutationPsrsPartitionBoundary corrupts one processor's PSRS
+// partition boundary vector (shifting a cut point into the next
+// destination's range) and asserts the corruption is caught by the
+// sorted-output oracle — every model's exchange and merge execute the
+// bad plan faithfully, so the failure must surface as an invalid
+// output, not as a silent repricing or a crash. The control run with
+// the hook installed but inert must pass.
+func TestMutationPsrsPartitionBoundary(t *testing.T) {
+	body := func(model repro.Model, corrupt bool) error {
+		sorts.SetCorruptPSRSBoundaryForTest(func(proc, np int, b []int64) {
+			if !corrupt || proc != 0 || len(b) < 3 {
+				return
+			}
+			// Move the first cut halfway toward the second: keys that
+			// belong to destination 0 leak into destination 1, breaking
+			// ascending order at the partition junction.
+			b[1] = (b[1] + b[2] + 1) / 2
+		})
+		defer sorts.SetCorruptPSRSBoundaryForTest(nil)
+		_, err := repro.Run(repro.Experiment{
+			Algorithm: repro.Psrs, Model: model,
+			N: 1 << 13, Procs: 4, Radix: 8,
+		})
+		return err
+	}
+	for _, model := range []repro.Model{repro.CCSAS, repro.MPI, repro.SHMEM} {
+		if err := body(model, false); err != nil {
+			t.Fatalf("%s control run failed: %v", model, err)
+		}
+		err := body(model, true)
+		if err == nil {
+			t.Fatalf("%s: corrupted partition boundary went undetected", model)
+		}
+		if !strings.Contains(err.Error(), "output invalid") {
+			t.Errorf("%s: error %v, want the sorted-output oracle's 'output invalid'", model, err)
+		}
 	}
 }
 

@@ -85,6 +85,20 @@ func NewSym[T any](c *Comm, name string, n int) *Sym[T] {
 	return s
 }
 
+// NewSymReserve allocates a symmetric segment like NewSym but only
+// reserves capElems of address space per rank without backing storage;
+// each rank grows its own segment (Local(p).Grow) once the needed size
+// is known. Useful for exchange buffers whose per-rank sizes are
+// data-dependent: the symmetric addresses exist up front (so remote
+// ranks can target them) while host memory is committed lazily.
+func NewSymReserve[T any](c *Comm, name string, capElems int) *Sym[T] {
+	s := &Sym[T]{c: c, Seg: make([]*machine.Array[T], c.Ranks())}
+	for r := 0; r < c.Ranks(); r++ {
+		s.Seg[r] = machine.NewArrayReserve[T](c.m, fmt.Sprintf("%s[%d]", name, r), capElems, r)
+	}
+	return s
+}
+
 // Local returns the calling rank's segment.
 func (s *Sym[T]) Local(p *machine.Proc) *machine.Array[T] { return s.Seg[p.ID] }
 
@@ -135,6 +149,26 @@ func (s *Sym[T]) Put(p *machine.Proc, dstRank, dstOff, srcOff, n int) {
 	start := p.Now()
 	p.ComputeNs(c.cfg.PutOverheadNs)
 	src := s.Seg[p.ID]
+	dst := s.Seg[dstRank]
+	copy(dst.Data[dstOff:dstOff+n], src.Data[srcOff:srcOff+n])
+	dstNode := c.m.Topology().NodeOf(dstRank)
+	p.BulkTransfer(dstNode, dst.Bytes(n), dst.Addr(dstOff), false)
+	p.TraceEvent(trace.EvPut, dstRank, dst.Bytes(n), p.Now()-start)
+}
+
+// PutFrom pushes n elements from an arbitrary local source array into
+// dstRank's segment at dstOff (the put-side analogue of GetInto: the
+// common pattern of pushing from a private working buffer). Like Put,
+// the data does not land in the destination's cache; the destination's
+// stale copies are invalidated. The caller must ensure (by barrier) that
+// the destination segment is ready to receive.
+func (s *Sym[T]) PutFrom(p *machine.Proc, src *machine.Array[T], srcOff, dstRank, dstOff, n int) {
+	if n <= 0 {
+		return
+	}
+	c := s.c
+	start := p.Now()
+	p.ComputeNs(c.cfg.PutOverheadNs)
 	dst := s.Seg[dstRank]
 	copy(dst.Data[dstOff:dstOff+n], src.Data[srcOff:srcOff+n])
 	dstNode := c.m.Topology().NodeOf(dstRank)

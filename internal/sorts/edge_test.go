@@ -27,6 +27,9 @@ func allPrograms(t *testing.T, m func() *machine.Machine, in []uint32, cfg Confi
 		{"sample-ccsas", SampleCCSAS},
 		{"sample-mpi", SampleMPI},
 		{"sample-shmem", SampleSHMEM},
+		{"psrs-ccsas", PsrsCCSAS},
+		{"psrs-mpi", PsrsMPI},
+		{"psrs-shmem", PsrsSHMEM},
 	}
 	for _, pr := range progs {
 		res, err := pr.fn(m(), in, cfg)
@@ -47,6 +50,23 @@ func TestUnevenPartitions(t *testing.T) {
 func TestTinyInput(t *testing.T) {
 	// Fewer keys than a histogram's buckets; some partitions nearly empty.
 	const n, procs = 100, 8
+	in := genKeys(t, keys.Random, n, procs, 8)
+	allPrograms(t, func() *machine.Machine { return scaled(t, procs) }, in, Config{Radix: 8})
+}
+
+func TestFewerKeysThanSamples(t *testing.T) {
+	// n < procs²: the classic PSRS degenerate case — the pivot pool holds
+	// fewer than P samples per processor, so pivot positions clamp and
+	// several pivots coincide.
+	const n, procs = 48, 8 // 48 < 64 = procs²
+	in := genKeys(t, keys.Random, n, procs, 8)
+	allPrograms(t, func() *machine.Machine { return scaled(t, procs) }, in, Config{Radix: 8})
+}
+
+func TestFewerKeysThanProcs(t *testing.T) {
+	// n < procs: most partitions are empty; some processors publish no
+	// samples at all and receive nothing in the exchange.
+	const n, procs = 5, 8
 	in := genKeys(t, keys.Random, n, procs, 8)
 	allPrograms(t, func() *machine.Machine { return scaled(t, procs) }, in, Config{Radix: 8})
 }

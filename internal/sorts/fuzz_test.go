@@ -21,6 +21,12 @@ func FuzzSortAgreement(f *testing.F) {
 	f.Add(uint64(0xdeadbeef), uint16(4000), uint8(2), uint8(7))
 	f.Add(uint64(42), uint16(257), uint8(3), uint8(2))
 	f.Add(uint64(7), uint16(3), uint8(1), uint8(5))
+	// Shaped seeds (top three seed bits select the shape; see fuzzKeys):
+	// duplicate-heavy and pre-sorted inputs stress PSRS's regular-sampling
+	// pivot ties and degenerate partitions.
+	f.Add(uint64(5)<<61|12345, uint16(2000), uint8(2), uint8(4))
+	f.Add(uint64(6)<<61|99, uint16(1024), uint8(2), uint8(3))
+	f.Add(uint64(7)<<61|7, uint16(777), uint8(1), uint8(6))
 
 	f.Fuzz(func(t *testing.T, seed uint64, nRaw uint16, procSel, radixRaw uint8) {
 		n := 1 + int(nRaw)%4096       // 1..4096 keys
@@ -44,6 +50,9 @@ func FuzzSortAgreement(f *testing.F) {
 			{"sample/ccsas", func() (*Result, error) { return SampleCCSAS(fuzzMachine(t, procs), in, cfg) }},
 			{"sample/mpi", func() (*Result, error) { return SampleMPI(fuzzMachine(t, procs), in, cfg) }},
 			{"sample/shmem", func() (*Result, error) { return SampleSHMEM(fuzzMachine(t, procs), in, cfg) }},
+			{"psrs/ccsas", func() (*Result, error) { return PsrsCCSAS(fuzzMachine(t, procs), in, cfg) }},
+			{"psrs/mpi", func() (*Result, error) { return PsrsMPI(fuzzMachine(t, procs), in, cfg) }},
+			{"psrs/shmem", func() (*Result, error) { return PsrsSHMEM(fuzzMachine(t, procs), in, cfg) }},
 		}
 		for _, r := range runs {
 			res, err := r.run()
@@ -66,7 +75,11 @@ func FuzzSortAgreement(f *testing.F) {
 
 // fuzzKeys expands a seed into n keys < 2^31 (the paper's key width)
 // with a splitmix64 generator, so the fuzzer controls the distribution
-// through a single integer.
+// through a single integer. The top three seed bits select a shape —
+// 0-4 plain random, 5 duplicate-heavy (at most 9 distinct values),
+// 6 pre-sorted ascending, 7 reverse-sorted — so the fuzzer also
+// explores the inputs that stress regular-sampling pivot ties
+// (duplicates) and degenerate partitions (monotone runs).
 func fuzzKeys(seed uint64, n int) []uint32 {
 	out := make([]uint32, n)
 	x := seed
@@ -77,6 +90,16 @@ func fuzzKeys(seed uint64, n int) []uint32 {
 		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 		z ^= z >> 31
 		out[i] = uint32(z) & (1<<31 - 1)
+	}
+	switch seed >> 61 {
+	case 5:
+		for i := range out {
+			out[i] = (out[i] % 9) * 0x0ccccccc
+		}
+	case 6:
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	case 7:
+		sort.Slice(out, func(i, j int) bool { return out[i] > out[j] })
 	}
 	return out
 }

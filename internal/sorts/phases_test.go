@@ -61,6 +61,28 @@ func TestSamplePhaseAttribution(t *testing.T) {
 	}
 }
 
+func TestPsrsPhaseAttribution(t *testing.T) {
+	m := scaled(t, 8)
+	in := genKeys(t, keys.Gauss, 1<<15, 8, 8)
+	res, err := PsrsSHMEM(m, in, Config{Radix: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := res.Run.PerProc[0]
+	for _, want := range []string{"localsort", "sample", "pivot-exchange", "partition", "transfer", "merge"} {
+		if _, ok := ps.Phases[want]; !ok {
+			t.Errorf("missing phase %q (have %v)", want, phaseNames(ps.Phases))
+		}
+	}
+	// The single local radix sort dominates the multiway merge — that
+	// the merge is cheaper than a second local sort is exactly PSRS's
+	// structural advantage over the splitter-based sample sort.
+	if ps.Phases["merge"].Total() >= ps.Phases["localsort"].Total() {
+		t.Errorf("merge (%v) should be cheaper than localsort (%v)",
+			ps.Phases["merge"].Total(), ps.Phases["localsort"].Total())
+	}
+}
+
 func TestShmemRadixTransferPhaseRemote(t *testing.T) {
 	m := scaled(t, 8)
 	in := genKeys(t, keys.Remote, 1<<15, 8, 8)
@@ -163,6 +185,26 @@ func TestPhaseLabelsConsistent(t *testing.T) {
 		}
 	}
 
+	// PSRS labels its six phases identically across models; the merge
+	// phase must appear (it replaces the sample sorts' second local sort)
+	// and barrier/message waiting stays inside the surrounding phase, so
+	// no separate sync label exists under any model.
+	psrsWant := []string{"localsort", "merge", "partition", "pivot-exchange", "sample", "transfer"}
+	psrsRuns := map[string]func() (*Result, error){
+		"ccsas": func() (*Result, error) { return PsrsCCSAS(scaled(t, procs), in, cfg) },
+		"mpi":   func() (*Result, error) { return PsrsMPI(scaled(t, procs), in, cfg) },
+		"shmem": func() (*Result, error) { return PsrsSHMEM(scaled(t, procs), in, cfg) },
+	}
+	for name, run := range psrsRuns {
+		res, err := run()
+		if err != nil {
+			t.Fatalf("psrs/%s: %v", name, err)
+		}
+		if got := phaseSet(res.Run); !equalStrings(got, psrsWant) {
+			t.Errorf("psrs/%s phases = %v, want %v", name, got, psrsWant)
+		}
+	}
+
 	seq, err := SeqRadix(scaled(t, 1), in, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -182,6 +224,9 @@ func TestPhaseBreakdownsCoverTotal(t *testing.T) {
 		"radix/mpi":    func() (*Result, error) { return RadixMPI(scaled(t, procs), in, cfg) },
 		"radix/shmem":  func() (*Result, error) { return RadixSHMEM(scaled(t, procs), in, cfg) },
 		"sample/ccsas": func() (*Result, error) { return SampleCCSAS(scaled(t, procs), in, cfg) },
+		"psrs/ccsas":   func() (*Result, error) { return PsrsCCSAS(scaled(t, procs), in, cfg) },
+		"psrs/mpi":     func() (*Result, error) { return PsrsMPI(scaled(t, procs), in, cfg) },
+		"psrs/shmem":   func() (*Result, error) { return PsrsSHMEM(scaled(t, procs), in, cfg) },
 		"seq":          func() (*Result, error) { return SeqRadix(scaled(t, 1), in, cfg) },
 	} {
 		res, err := run()

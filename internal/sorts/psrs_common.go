@@ -1,0 +1,168 @@
+package sorts
+
+import (
+	"repro/internal/machine"
+)
+
+// Shared machinery for Parallel Sorting by Regular Sampling (PSRS,
+// Shi & Schaeffer 1992). PSRS differs from the paper's splitter-based
+// sample sort in two communication shapes: pivot selection is a
+// gather-to-root plus broadcast (the root merges all P*P regular
+// samples and picks the P-1 pivots alone), and the received keys are
+// multiway-MERGED rather than re-sorted — each processor's contribution
+// arrives already sorted, so a P-way merge of the runs finishes the
+// sort in one sweep.
+
+// corruptPSRSBoundary, when set, mutates a processor's partition
+// boundary vector in place right after it is computed. It exists for
+// the mutation tests (internal/check): a corrupted partition must be
+// caught by the sorted-output/agreement oracles downstream, never
+// silently repriced into a "valid" run.
+var corruptPSRSBoundary func(proc, np int, b []int64)
+
+// SetCorruptPSRSBoundaryForTest installs (or, with nil, removes) the
+// partition-corruption hook. Not safe to call while runs are in flight.
+func SetCorruptPSRSBoundaryForTest(f func(proc, np int, b []int64)) {
+	corruptPSRSBoundary = f
+}
+
+// pivotsFrom picks procs-1 pivots from the sorted pool of all regular
+// samples. The pool holds P groups of g = L/P samples, each group
+// drawn by selectSamples at the interior quantiles (k+1)/(g+1) of one
+// locally sorted run, so pool index m sits near global quantile
+// (m/P + 1)/(g+1); solving that for quantile j/P puts pivot j at index
+// j*(g+1) - P/2. (The classic PSRS rho = P/2 offset assumes samples
+// taken from the start of each run; applied to these center-shifted
+// samples it would double-shift and systematically overload partition
+// 0.) Degenerate pools (fewer samples than processors, n < P*P) clamp;
+// duplicate pivots are handled downstream by boundariesOf's
+// tie-spreading.
+func pivotsFrom(p *machine.Proc, sortedAll []uint32, procs int) []uint32 {
+	pv := make([]uint32, procs-1)
+	L := len(sortedAll)
+	if L == 0 {
+		return pv
+	}
+	g := L / procs
+	for j := 1; j < procs; j++ {
+		idx := j*(g+1) - procs/2
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= L {
+			idx = L - 1
+		}
+		pv[j-1] = sortedAll[idx]
+	}
+	p.Compute(2 * procs)
+	return pv
+}
+
+// psrsDestCounts converts partition boundaries b (from boundariesOf,
+// len P+1) into the per-destination key counts that act as this
+// processor's "histogram" row of the chunk plan: destinations play the
+// role radix buckets play in the radix sorts' plans.
+func psrsDestCounts(p *machine.Proc, b []int64) []int32 {
+	counts := make([]int32, len(b)-1)
+	for d := range counts {
+		counts[d] = int32(b[d+1] - b[d])
+	}
+	p.Compute(len(counts))
+	return counts
+}
+
+// psrsIncoming returns how many keys land on processor me under the
+// plan — the total of "bucket" me across all sources.
+func psrsIncoming(pl *chunkPlan, me int) int {
+	end := int64(pl.n)
+	if me+1 < pl.buckets {
+		end = pl.gStart[me+1]
+	}
+	return int(end - pl.gStart[me])
+}
+
+// psrsRuns returns the receive-buffer layout of processor me's incoming
+// runs: runs arrive source-major (plan.rank is the exclusive prefix over
+// sources), so run q occupies [starts[q], starts[q]+counts[q]).
+func psrsRuns(pl *chunkPlan, me int) (starts, counts []int) {
+	P := pl.procs
+	starts = make([]int, P)
+	counts = make([]int, P)
+	for q := 0; q < P; q++ {
+		starts[q] = int(pl.rank[q][me])
+		counts[q] = int(pl.hists[q][me])
+	}
+	return starts, counts
+}
+
+// multiwayMergeCharged merges the sorted runs recv[starts[q] :
+// starts[q]+counts[q]) into out[0:total] with a binary heap of run
+// heads, charging per output key one sequential read of the winning
+// head, the heap's ~2·log2(ways) comparisons, and one sequential write.
+// Ties break by source rank, keeping the merge deterministic.
+func multiwayMergeCharged(p *machine.Proc, recv, out *machine.Array[uint32], starts, counts []int) int {
+	type head struct {
+		key     uint32
+		src     int
+		at, end int
+	}
+	hp := make([]head, 0, len(starts))
+	less := func(a, b head) bool {
+		if a.key != b.key {
+			return a.key < b.key
+		}
+		return a.src < b.src
+	}
+	siftUp := func(i int) {
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !less(hp[i], hp[parent]) {
+				break
+			}
+			hp[i], hp[parent] = hp[parent], hp[i]
+			i = parent
+		}
+	}
+	siftDown := func() {
+		i := 0
+		for {
+			l, r, s := 2*i+1, 2*i+2, i
+			if l < len(hp) && less(hp[l], hp[s]) {
+				s = l
+			}
+			if r < len(hp) && less(hp[r], hp[s]) {
+				s = r
+			}
+			if s == i {
+				break
+			}
+			hp[i], hp[s] = hp[s], hp[i]
+			i = s
+		}
+	}
+	for q := range starts {
+		if counts[q] == 0 {
+			continue
+		}
+		k := recv.LoadSeq(p, starts[q], machine.Private)
+		hp = append(hp, head{key: k, src: q, at: starts[q] + 1, end: starts[q] + counts[q]})
+		siftUp(len(hp) - 1)
+	}
+	stepOps := 2*ilog2(len(hp)+1) + 4
+	total := 0
+	for len(hp) > 0 {
+		h := hp[0]
+		out.StoreSeq(p, total, h.key, machine.Private)
+		p.Compute(stepOps)
+		total++
+		if h.at < h.end {
+			k := recv.LoadSeq(p, h.at, machine.Private)
+			hp[0] = head{key: k, src: h.src, at: h.at + 1, end: h.end}
+		} else {
+			hp[0] = hp[len(hp)-1]
+			hp = hp[:len(hp)-1]
+		}
+		siftDown()
+	}
+	return total
+}

@@ -33,8 +33,12 @@ type Algorithm string
 const (
 	// Radix is the parallel radix sort.
 	Radix Algorithm = "radix"
-	// Sample is the parallel sample sort.
+	// Sample is the parallel sample sort (splitter-based, group splitter
+	// election, second local radix sort).
 	Sample Algorithm = "sample"
+	// Psrs is Parallel Sorting by Regular Sampling: root-side pivot
+	// gather/broadcast, partition exchange, local multiway merge.
+	Psrs Algorithm = "psrs"
 )
 
 // Model selects the programming model / implementation variant.
@@ -62,6 +66,7 @@ func Models(a Algorithm) []Model {
 	if a == Radix {
 		return []Model{CCSAS, CCSASNew, MPI, MPISGI, SHMEM}
 	}
+	// Sample sort and PSRS have no buffered CC-SAS variant.
 	return []Model{CCSAS, MPI, MPISGI, SHMEM}
 }
 
@@ -77,7 +82,7 @@ func ParseModel(s string) (Model, error) {
 
 // ParseAlgorithm resolves an algorithm name.
 func ParseAlgorithm(s string) (Algorithm, error) {
-	for _, a := range []Algorithm{Radix, Sample} {
+	for _, a := range []Algorithm{Radix, Sample, Psrs} {
 		if strings.EqualFold(s, string(a)) {
 			return a, nil
 		}
@@ -277,6 +282,12 @@ func Run(e Experiment) (*Outcome, error) {
 		res, err = sorts.SampleMPI(m, in, cfg)
 	case e.Algorithm == Sample && e.Model == SHMEM:
 		res, err = sorts.SampleSHMEM(m, in, cfg)
+	case e.Algorithm == Psrs && e.Model == CCSAS:
+		res, err = sorts.PsrsCCSAS(m, in, cfg)
+	case e.Algorithm == Psrs && (e.Model == MPI || e.Model == MPISGI):
+		res, err = sorts.PsrsMPI(m, in, cfg)
+	case e.Algorithm == Psrs && e.Model == SHMEM:
+		res, err = sorts.PsrsSHMEM(m, in, cfg)
 	default:
 		return nil, fmt.Errorf("repro: no program for algorithm %q under model %q", e.Algorithm, e.Model)
 	}

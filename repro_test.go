@@ -21,7 +21,7 @@ func runExp(t *testing.T, e Experiment) *Outcome {
 
 func TestRunAllCombinations(t *testing.T) {
 	// Every algorithm × model pair executes and verifies on a small size.
-	for _, alg := range []Algorithm{Radix, Sample} {
+	for _, alg := range []Algorithm{Radix, Sample, Psrs} {
 		for _, mo := range Models(alg) {
 			out := runExp(t, Experiment{
 				Algorithm: alg, Model: mo, N: 1 << 13, Procs: 8, Radix: 8,
@@ -49,6 +49,7 @@ func TestRunValidation(t *testing.T) {
 		{Algorithm: Radix, Model: SHMEM, N: 100, Procs: 0},
 		{Algorithm: "bogus", Model: SHMEM, N: 100, Procs: 8},
 		{Algorithm: Sample, Model: CCSASNew, N: 100, Procs: 8}, // no buffered sample variant
+		{Algorithm: Psrs, Model: CCSASNew, N: 100, Procs: 8},   // no buffered PSRS variant either
 	}
 	for _, e := range bad {
 		if _, err := Run(e); err == nil {

@@ -131,6 +131,103 @@ var shapeChecks = []shapeCheck{
 		},
 	},
 	{
+		// Beyond-paper PSRS target (DESIGN.md §11): like the radix sorts,
+		// PSRS's SHMEM program is at least as fast as its MPI program at
+		// the large class — one-sided puts into the symmetric receive
+		// buffers avoid MPI's per-pair send/receive handshakes.
+		name: "psrs SHMEM <= MPI at the 16M class",
+		check: func(mod func(*Experiment)) error {
+			n := SizeClasses[2].ScaledN
+			shm, err := shapeRun(Experiment{Algorithm: Psrs, Model: SHMEM, N: n, Procs: 16}, mod)
+			if err != nil {
+				return err
+			}
+			mp, err := shapeRun(Experiment{Algorithm: Psrs, Model: MPI, N: n, Procs: 16}, mod)
+			if err != nil {
+				return err
+			}
+			if shm.TimeNs > mp.TimeNs {
+				return fmt.Errorf("SHMEM %.0fns > MPI %.0fns", shm.TimeNs, mp.TimeNs)
+			}
+			return nil
+		},
+	},
+	{
+		// Beyond-paper PSRS target (DESIGN.md §11): PSRS shifts the
+		// sampling sorts' keys/proc crossover against radix (§4.4). The
+		// multiway merge is cheaper than sample sort's second local sort,
+		// so PSRS beats sample sort on both sides of the crossover, and at
+		// 4K keys/proc — where sample sort has already lost to radix —
+		// PSRS still wins. Above the crossover radix overtakes PSRS too.
+		name: "psrs outlasts sample at the keys/proc crossover",
+		check: func(mod func(*Experiment)) error {
+			bestOf := func(alg Algorithm, n, procs int) (float64, error) {
+				best := -1.0
+				for _, mo := range Models(alg) {
+					if mo == MPISGI {
+						continue
+					}
+					for _, r := range []int{8, 11} {
+						out, err := shapeRun(Experiment{Algorithm: alg, Model: mo, N: n, Procs: procs, Radix: r}, mod)
+						if err != nil {
+							return 0, err
+						}
+						if best < 0 || out.TimeNs < best {
+							best = out.TimeNs
+						}
+					}
+				}
+				return best, nil
+			}
+			// 1M class at 16P: 4K keys/proc — the band where regular
+			// sampling is the only sampling sort still ahead of radix.
+			mid := SizeClasses[0].ScaledN
+			psrsMid, err := bestOf(Psrs, mid, 16)
+			if err != nil {
+				return err
+			}
+			sampleMid, err := bestOf(Sample, mid, 16)
+			if err != nil {
+				return err
+			}
+			radixMid, err := bestOf(Radix, mid, 16)
+			if err != nil {
+				return err
+			}
+			if psrsMid >= sampleMid {
+				return fmt.Errorf("4K keys/proc: psrs %.0fns >= sample %.0fns", psrsMid, sampleMid)
+			}
+			if psrsMid >= radixMid {
+				return fmt.Errorf("4K keys/proc: psrs %.0fns >= radix %.0fns", psrsMid, radixMid)
+			}
+			if sampleMid < radixMid {
+				return fmt.Errorf("4K keys/proc: sample %.0fns < radix %.0fns (sample should have crossed already)", sampleMid, radixMid)
+			}
+			// 16M class at 16P: 64K keys/proc — radix overtakes PSRS too,
+			// but PSRS keeps its margin over sample sort.
+			big := SizeClasses[2].ScaledN
+			psrsBig, err := bestOf(Psrs, big, 16)
+			if err != nil {
+				return err
+			}
+			sampleBig, err := bestOf(Sample, big, 16)
+			if err != nil {
+				return err
+			}
+			radixBig, err := bestOf(Radix, big, 16)
+			if err != nil {
+				return err
+			}
+			if psrsBig >= sampleBig {
+				return fmt.Errorf("64K keys/proc: psrs %.0fns >= sample %.0fns", psrsBig, sampleBig)
+			}
+			if radixBig >= psrsBig {
+				return fmt.Errorf("64K keys/proc: radix %.0fns >= psrs %.0fns", radixBig, psrsBig)
+			}
+			return nil
+		},
+	},
+	{
 		// Figure 4: the original scattered-write CC-SAS radix is
 		// MEM-dominated at the largest class of the reduced grid — its
 		// memory stall time exceeds both BUSY and SYNC. Asserted on the
