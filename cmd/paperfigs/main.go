@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	paperfigs [-exp all|table1|fig1|...|figpsrs|table23] [-sizes 1M,4M,16M]
+//	paperfigs [-exp all|table1|fig1|...|figpsrs|table23|figtopo] [-sizes 1M,4M,16M]
 //	          [-procs 16,32,64] [-seed N] [-j N] [-benchjson] [-v]
 //	          [-paranoid] [-trace out.json] [-cpuprofile out.pprof]
 //
@@ -54,10 +54,13 @@ import (
 
 // figureRun is one regenerable experiment: run returns the printable
 // output blocks (each printed with one trailing newline, like the serial
-// driver always did).
+// driver always did). extra marks beyond-paper experiments that -exp all
+// skips: the committed paper grid (and its golden file) stays exactly
+// the paper's figures, and the extras run only when named explicitly.
 type figureRun struct {
-	name string
-	run  func(h *repro.Harness) ([]string, error)
+	name  string
+	run   func(h *repro.Harness) ([]string, error)
+	extra bool
 }
 
 // runners lists every experiment in the order -exp all prints them.
@@ -68,25 +71,36 @@ var runners = []figureRun{
 			return nil, err
 		}
 		return []string{t.String()}, nil
-	}},
-	{"fig1", speedupRunner((*repro.Harness).Figure1)},
-	{"fig2", speedupRunner((*repro.Harness).Figure2)},
-	{"fig3", speedupRunner((*repro.Harness).Figure3)},
-	{"fig7", speedupRunner((*repro.Harness).Figure7)},
-	{"figpsrs", speedupRunner((*repro.Harness).FigurePSRS)},
-	{"fig4", breakdownRunner((*repro.Harness).Figure4)},
-	{"fig8", breakdownRunner((*repro.Harness).Figure8)},
-	{"fig5", relativeRunner((*repro.Harness).Figure5)},
-	{"fig6", relativeRunner((*repro.Harness).Figure6)},
-	{"fig9", relativeRunner((*repro.Harness).Figure9)},
-	{"fig10", relativeRunner((*repro.Harness).Figure10)},
+	}, false},
+	{"fig1", speedupRunner((*repro.Harness).Figure1), false},
+	{"fig2", speedupRunner((*repro.Harness).Figure2), false},
+	{"fig3", speedupRunner((*repro.Harness).Figure3), false},
+	{"fig7", speedupRunner((*repro.Harness).Figure7), false},
+	{"figpsrs", speedupRunner((*repro.Harness).FigurePSRS), false},
+	{"fig4", breakdownRunner((*repro.Harness).Figure4), false},
+	{"fig8", breakdownRunner((*repro.Harness).Figure8), false},
+	{"fig5", relativeRunner((*repro.Harness).Figure5), false},
+	{"fig6", relativeRunner((*repro.Harness).Figure6), false},
+	{"fig9", relativeRunner((*repro.Harness).Figure9), false},
+	{"fig10", relativeRunner((*repro.Harness).Figure10), false},
 	{"table23", func(h *repro.Harness) ([]string, error) {
 		bt, err := h.Tables23()
 		if err != nil {
 			return nil, err
 		}
 		return []string{bt.Table2().String(), bt.Table3().String()}, nil
-	}},
+	}, false},
+	{"figtopo", func(h *repro.Harness) ([]string, error) {
+		figs, err := h.FigureTopo()
+		if err != nil {
+			return nil, err
+		}
+		var blocks []string
+		for _, f := range figs {
+			blocks = append(blocks, f.Table().String())
+		}
+		return blocks, nil
+	}, true},
 }
 
 func speedupRunner(fn func(*repro.Harness) (*repro.SpeedupFigure, error)) func(*repro.Harness) ([]string, error) {
@@ -151,7 +165,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("paperfigs", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp       = fs.String("exp", "all", "experiment: all, table1, fig1..fig10, figpsrs, table23")
+		exp       = fs.String("exp", "all", "experiment: all, table1, fig1..fig10, figpsrs, table23, figtopo (figtopo is beyond-paper and excluded from all)")
 		sizes     = fs.String("sizes", "", "comma-separated size classes (1M,4M,16M,64M,256M); default all")
 		procs     = fs.String("procs", "", "comma-separated processor counts; default 16,32,64")
 		radixes   = fs.String("radixes", "", "comma-separated radix sweep for fig6/fig10; default 6..12")
@@ -188,7 +202,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("-j must be >= 1, got %d", *par)
 	}
 	if !validExp(*exp) {
-		return fmt.Errorf("unknown experiment %q (want all, table1, fig1..fig10, figpsrs, or table23)", *exp)
+		return fmt.Errorf("unknown experiment %q (want all, table1, fig1..fig10, figpsrs, table23, or figtopo)", *exp)
 	}
 
 	opts := repro.Options{Seed: *seed, Parallelism: *par, Trace: *traceTo != "", Paranoid: *paranoid}
@@ -221,6 +235,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	rep := benchReport{Parallelism: *par, GOMAXPROCS: runtime.GOMAXPROCS(0), Seed: *seed}
 	for _, r := range runners {
+		if *exp == "all" && r.extra {
+			continue
+		}
 		if *exp != "all" && *exp != r.name {
 			continue
 		}

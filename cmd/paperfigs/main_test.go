@@ -82,6 +82,33 @@ func diffHead(got, want []byte) string {
 	return string(got[lo:hi])
 }
 
+// TestFigTopoDeterministic proves the beyond-paper topology grid keeps
+// the same determinism contract as the paper figures: `-exp figtopo` on
+// a tiny grid is byte-identical at -j 1 and -j 4, and renders one
+// speedup figure per registered interconnect kind.
+func TestFigTopoDeterministic(t *testing.T) {
+	runTopo := func(j string) []byte {
+		t.Helper()
+		args := []string{"-exp", "figtopo", "-sizes", "1M", "-procs", "4,8", "-seed", "0", "-j", j}
+		var stdout, stderr bytes.Buffer
+		if err := run(args, &stdout, &stderr); err != nil {
+			t.Fatalf("paperfigs %v: %v\nstderr:\n%s", args, err, stderr.String())
+		}
+		return stdout.Bytes()
+	}
+	got1 := runTopo("1")
+	got4 := runTopo("4")
+	if !bytes.Equal(got1, got4) {
+		t.Fatalf("figtopo stdout differs between -j 1 (%d bytes) and -j 4 (%d bytes)\n%s",
+			len(got1), len(got4), diffHead(got1, got4))
+	}
+	for _, kind := range []string{"hypercube", "fattree", "torus", "dragonfly", "numa2"} {
+		if !bytes.Contains(got1, []byte("Figure T ("+kind+")")) {
+			t.Errorf("figtopo output missing figure for %q", kind)
+		}
+	}
+}
+
 // TestRunRejectsBadFlags covers the error paths of the in-process
 // entrypoint: unknown experiment, bad -j, stray arguments.
 func TestRunRejectsBadFlags(t *testing.T) {

@@ -35,6 +35,7 @@ func main() {
 		procs    = flag.Int("procs", 16, "processor count")
 		radix    = flag.Int("radix", 8, "radix size in bits")
 		full     = flag.Bool("full", false, "use the full-size Origin2000 parameters")
+		topo     = flag.String("topo", "", "interconnect kind (hypercube, fattree, torus, torus3d, dragonfly, numa2); default hypercube")
 		validate = flag.Bool("validate", false, "also run the simulator and report prediction error")
 		par      = flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulator runs for -validate (>= 1)")
 	)
@@ -55,6 +56,10 @@ func main() {
 		fatal(fmt.Errorf("-radix must be in [1, 24], got %d", *radix))
 	}
 
+	tp, err := repro.ParseTopology(*topo)
+	if err != nil {
+		fatal(err)
+	}
 	var cfg machine.Config
 	mpiCfg := mpi.DefaultDirect()
 	shmCfg := shmem.DefaultConfig()
@@ -65,6 +70,7 @@ func main() {
 		mpiCfg = mpiCfg.Scaled(machine.ScaleFactor)
 		shmCfg = shmCfg.Scaled(machine.ScaleFactor)
 	}
+	cfg.Topology.Kind = tp
 	pr, err := perfmodel.New(cfg, mpiCfg, shmCfg)
 	if err != nil {
 		fatal(err)
@@ -86,7 +92,7 @@ func main() {
 		for i, p := range ranked {
 			exps[i] = repro.Experiment{
 				Algorithm: repro.Radix, Model: repro.Model(p.Model),
-				N: *n, Procs: *procs, Radix: *radix, FullSize: *full,
+				N: *n, Procs: *procs, Radix: *radix, FullSize: *full, Topo: tp,
 			}
 		}
 		sims, err = repro.RunAll(*par, exps)

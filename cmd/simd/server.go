@@ -12,6 +12,7 @@ import (
 	"repro"
 	"repro/internal/keys"
 	"repro/internal/resultcache"
+	"repro/internal/topology"
 )
 
 // experimentRequest is the wire form of one experiment cell, shared by
@@ -26,7 +27,11 @@ type experimentRequest struct {
 	// Radix defaults to 8, the paper's baseline digit size.
 	Radix int `json:"radix,omitempty"`
 	// Dist defaults to gauss, the paper's default distribution.
-	Dist     string `json:"dist,omitempty"`
+	Dist string `json:"dist,omitempty"`
+	// Topo selects the machine interconnect by registered network kind
+	// (hypercube, fattree, torus, torus3d, dragonfly, numa2); defaults
+	// to the paper's Origin2000 hypercube.
+	Topo     string `json:"topo,omitempty"`
 	Seed     uint64 `json:"seed,omitempty"`
 	FullSize bool   `json:"full_size,omitempty"`
 	// Trace embeds the run's deterministic flat trace metrics in the
@@ -46,6 +51,7 @@ type cacheConfig struct {
 	Procs     int    `json:"procs"`
 	Radix     int    `json:"radix"`
 	Dist      string `json:"dist"`
+	Topo      string `json:"topo"`
 	Seed      uint64 `json:"seed"`
 	FullSize  bool   `json:"full_size"`
 	Trace     bool   `json:"trace"`
@@ -201,6 +207,10 @@ func (s *server) parseRequest(req experimentRequest) (repro.Experiment, cacheCon
 			return zero, cacheConfig{}, err
 		}
 	}
+	topo, err := repro.ParseTopology(req.Topo)
+	if err != nil {
+		return zero, cacheConfig{}, err
+	}
 	radix := req.Radix
 	if radix == 0 {
 		radix = 8
@@ -232,12 +242,18 @@ func (s *server) parseRequest(req experimentRequest) (repro.Experiment, cacheCon
 	}
 	exp := repro.Experiment{
 		Algorithm: alg, Model: model, N: req.N, Procs: req.Procs, Radix: radix,
-		Dist: dist, Seed: req.Seed, FullSize: req.FullSize, Trace: req.Trace,
+		Dist: dist, Topo: topo, Seed: req.Seed, FullSize: req.FullSize, Trace: req.Trace,
+	}
+	// Canonical topo: an empty request field IS the hypercube, and the
+	// two spellings must hit the same cache entry.
+	canonTopo := topo
+	if canonTopo == "" {
+		canonTopo = topology.KindHypercube
 	}
 	canon := cacheConfig{
 		Algorithm: string(alg), Model: string(model), N: req.N, Procs: req.Procs,
-		Radix: radix, Dist: dist.String(), Seed: req.Seed, FullSize: req.FullSize,
-		Trace: req.Trace,
+		Radix: radix, Dist: dist.String(), Topo: canonTopo, Seed: req.Seed,
+		FullSize: req.FullSize, Trace: req.Trace,
 	}
 	return exp, canon, nil
 }

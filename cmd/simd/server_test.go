@@ -133,6 +133,58 @@ func TestRunValidation(t *testing.T) {
 	}
 }
 
+// TestRunTopo covers the interconnect field of /v1/run: an unknown kind
+// is rejected up front with 400, every registered kind simulates and
+// verifies, and the empty string canonicalizes to "hypercube" in the
+// cache key so the default spelled two ways is a single cache entry.
+func TestRunTopo(t *testing.T) {
+	s, ts := newTestServer(t, serverConfig{})
+
+	resp := postJSON(t, ts.URL+"/v1/run", experimentRequest{
+		Algorithm: "radix", Model: "shmem", N: 1 << 12, Procs: 4, Topo: "mesh"})
+	if body := readAll(t, resp); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown topo: status %d, want 400 (body %s)", resp.StatusCode, body)
+	}
+
+	for _, kind := range []string{"fattree", "torus", "torus3d", "dragonfly", "numa2"} {
+		req := tinyRun(7)
+		req.Topo = kind
+		resp := postJSON(t, ts.URL+"/v1/run", req)
+		body := readAll(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("topo %s: status %d (body %s)", kind, resp.StatusCode, body)
+		}
+		var doc runResult
+		if err := json.Unmarshal(body, &doc); err != nil {
+			t.Fatal(err)
+		}
+		if !doc.Verified || doc.TimeNs <= 0 {
+			t.Errorf("topo %s: result malformed: %+v", kind, doc)
+		}
+	}
+
+	def := postJSON(t, ts.URL+"/v1/run", tinyRun(9))
+	if got := def.Header.Get("X-Simd-Cache"); got != "miss" {
+		t.Errorf("default topo cold request: X-Simd-Cache = %q, want miss", got)
+	}
+	defKey := def.Header.Get("X-Simd-Key")
+	readAll(t, def)
+
+	spelled := tinyRun(9)
+	spelled.Topo = "hypercube"
+	warm := postJSON(t, ts.URL+"/v1/run", spelled)
+	readAll(t, warm)
+	if got := warm.Header.Get("X-Simd-Cache"); got != "hit" {
+		t.Errorf(`topo "hypercube" after default run: X-Simd-Cache = %q, want hit`, got)
+	}
+	if key := warm.Header.Get("X-Simd-Key"); key != defKey {
+		t.Errorf(`topo "" and "hypercube" map to different cache keys %q vs %q`, defKey, key)
+	}
+	if runs := s.h.Stats().Runs; runs < 1 {
+		t.Errorf("harness Runs = %d, want ≥ 1", runs)
+	}
+}
+
 // TestRunPsrs: the service accepts the PSRS programs added beyond the
 // paper's eight; a psrs cell must simulate, verify, and cache like any
 // other algorithm/model combination.

@@ -71,6 +71,7 @@ func main() {
 		procs      = flag.Int("procs", 16, "processor count (power of two)")
 		radix      = flag.Int("radix", 8, "radix size in bits")
 		dist       = flag.String("dist", "gauss", "key distribution")
+		topo       = flag.String("topo", "", "interconnect kind (hypercube, fattree, torus, torus3d, dragonfly, numa2); default hypercube")
 		seed       = flag.Uint64("seed", 0, "key generation seed")
 		full       = flag.Bool("full", false, "use the full-size (unscaled) Origin2000 parameters")
 		paranoid   = flag.Bool("paranoid", false, "shadow every access with the reference models and invariant checks (slow; fails on any violation)")
@@ -98,10 +99,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	tp, err := repro.ParseTopology(*topo)
+	if err != nil {
+		fatal(err)
+	}
 	start := time.Now()
 	out, err := repro.Run(repro.Experiment{
 		Algorithm: a, Model: m, N: *n, Procs: *procs, Radix: *radix,
-		Dist: d, Seed: *seed, FullSize: *full, Paranoid: *paranoid,
+		Dist: d, Topo: tp, Seed: *seed, FullSize: *full, Paranoid: *paranoid,
 		Trace: *traceTo != "" || *metrics != "",
 	})
 	wall := time.Since(start)

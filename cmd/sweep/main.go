@@ -32,6 +32,7 @@ func main() {
 		n     = flag.Int("n", 1<<18, "key count")
 		procs = flag.Int("procs", 16, "processor count")
 		dist  = flag.String("dist", "gauss", "key distribution")
+		topo  = flag.String("topo", "", "interconnect kind (hypercube, fattree, torus, torus3d, dragonfly, numa2); default hypercube")
 		seed  = flag.Uint64("seed", 0, "seed")
 		par   = flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent experiment runs (>= 1)")
 	)
@@ -61,8 +62,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	tp, err := repro.ParseTopology(*topo)
+	if err != nil {
+		fatal(err)
+	}
 	base := repro.Experiment{
-		Algorithm: a, Model: m, N: *n, Procs: *procs, Radix: 8, Dist: d, Seed: *seed,
+		Algorithm: a, Model: m, N: *n, Procs: *procs, Radix: 8, Dist: d, Topo: tp, Seed: *seed,
 	}
 
 	switch *kind {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/keys"
 	"repro/internal/machine"
 	"repro/internal/report"
+	"repro/internal/topology"
 	"repro/internal/trace"
 )
 
@@ -325,11 +326,14 @@ func (f *SpeedupFigure) Table() *report.Table {
 
 // speedupVariant is one series of a speedup figure: a label and the
 // (algorithm, model) pair it runs. Allowing the algorithm to vary per
-// series is what lets FigurePSRS put PSRS and sample sort on one grid.
+// series is what lets FigurePSRS put PSRS and sample sort on one grid;
+// Topo additionally reshapes the series' interconnect, which is what
+// lets FigureTopo sweep the same sorts across every network kind.
 type speedupVariant struct {
 	Label string
 	Alg   Algorithm
 	Model Model
+	Topo  string
 }
 
 // speedupFigureVariants sweeps arbitrary (algorithm, model) series over
@@ -354,6 +358,7 @@ func (h *Harness) speedupFigureVariants(title string, variants []speedupVariant)
 			for _, v := range variants {
 				cells = append(cells, expCell(Experiment{
 					Algorithm: v.Alg, Model: v.Model, N: n, Procs: p, Radix: 8, Dist: keys.Gauss,
+					Topo: v.Topo,
 				}))
 			}
 		}
@@ -458,13 +463,58 @@ func (h *Harness) Figure7() (*SpeedupFigure, error) {
 func (h *Harness) FigurePSRS() (*SpeedupFigure, error) {
 	return h.speedupFigureVariants("Figure P: PSRS vs sample sort speedups across models",
 		[]speedupVariant{
-			{"PSRS-SHMEM", Psrs, SHMEM},
-			{"PSRS-CC-SAS", Psrs, CCSAS},
-			{"PSRS-MPI", Psrs, MPI},
-			{"SMPL-SHMEM", Sample, SHMEM},
-			{"SMPL-CC-SAS", Sample, CCSAS},
-			{"SMPL-MPI", Sample, MPI},
+			{Label: "PSRS-SHMEM", Alg: Psrs, Model: SHMEM},
+			{Label: "PSRS-CC-SAS", Alg: Psrs, Model: CCSAS},
+			{Label: "PSRS-MPI", Alg: Psrs, Model: MPI},
+			{Label: "SMPL-SHMEM", Alg: Sample, Model: SHMEM},
+			{Label: "SMPL-CC-SAS", Alg: Sample, Model: CCSAS},
+			{Label: "SMPL-MPI", Alg: Sample, Model: MPI},
 		})
+}
+
+// FigureTopoKinds is the fixed interconnect order of FigureTopo: the
+// paper's hypercube first, then the beyond-paper network shapes.
+var FigureTopoKinds = []string{
+	topology.KindHypercube,
+	topology.KindFatTree,
+	topology.KindTorus,
+	topology.KindDragonfly,
+	topology.KindNUMA2,
+}
+
+// FigureTopo sweeps the three sorts across the three programming models
+// on every interconnect kind — one speedup figure per network, same
+// grid and sequential baseline everywhere (a 1-processor machine is a
+// single node under every kind, so the baseline is topology-invariant).
+// This is the beyond-paper scale study (DESIGN.md §12): does the CC-SAS
+// vs MPI ranking survive when the Origin2000 hypercube is replaced by a
+// modern fat-tree, torus, dragonfly, or two-tier chiplet NUMA?
+func (h *Harness) FigureTopo() ([]*SpeedupFigure, error) {
+	var figs []*SpeedupFigure
+	for _, kind := range FigureTopoKinds {
+		vs := make([]speedupVariant, 0, 9)
+		for _, av := range []struct {
+			tag string
+			alg Algorithm
+		}{{"RDX", Radix}, {"SMPL", Sample}, {"PSRS", Psrs}} {
+			for _, mv := range []struct {
+				tag string
+				mo  Model
+			}{{"SHMEM", SHMEM}, {"CC-SAS", CCSAS}, {"MPI", MPI}} {
+				vs = append(vs, speedupVariant{
+					Label: av.tag + "-" + mv.tag,
+					Alg:   av.alg, Model: mv.mo, Topo: kind,
+				})
+			}
+		}
+		f, err := h.speedupFigureVariants(
+			fmt.Sprintf("Figure T (%s): radix/sample/PSRS speedups across models", kind), vs)
+		if err != nil {
+			return nil, err
+		}
+		figs = append(figs, f)
+	}
+	return figs, nil
 }
 
 // BreakdownFigure holds per-processor time decompositions for several

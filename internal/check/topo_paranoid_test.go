@@ -1,0 +1,49 @@
+// Paranoid differential coverage for the non-default interconnects: the
+// distance-class pricing memo, the hot-path class rows, and the checker's
+// reference oracle must all agree on every access when the machine is
+// built on a fat-tree, torus, dragonfly, or two-tier NUMA network.
+package check_test
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/topology"
+)
+
+// TestNewTopologies128ProcParanoid runs one ≥128-processor radix sort
+// per new network kind with the paranoid checker shadowing every access.
+// A pass means the per-class pricing fast path matches the live-protocol
+// reference price on each topology at a scale the paper never reached.
+func TestNewTopologies128ProcParanoid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("128-proc paranoid runs are not short")
+	}
+	for _, kind := range []string{
+		topology.KindFatTree,
+		topology.KindTorus,
+		topology.KindTorus3D,
+		topology.KindDragonfly,
+		topology.KindNUMA2,
+	} {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			t.Parallel()
+			out, err := repro.Run(repro.Experiment{
+				Algorithm: repro.Radix, Model: repro.SHMEM,
+				N: 1 << 15, Procs: 128, Radix: 8,
+				Topo:     kind,
+				Paranoid: true,
+			})
+			if err != nil {
+				t.Fatalf("paranoid run on %s failed: %v", kind, err)
+			}
+			if !out.Verified {
+				t.Errorf("%s: output not verified sorted", kind)
+			}
+			if out.TimeNs <= 0 {
+				t.Errorf("%s: non-positive simulated time %v", kind, out.TimeNs)
+			}
+		})
+	}
+}

@@ -72,12 +72,12 @@ func DefaultParams(lineSize int) Params {
 
 // Protocol prices coherence transactions on a given topology.
 type Protocol struct {
-	top    *topology.Topology
+	top    topology.Network
 	params Params
 }
 
 // NewProtocol builds a protocol engine.
-func NewProtocol(top *topology.Topology, params Params) *Protocol {
+func NewProtocol(top topology.Network, params Params) *Protocol {
 	return &Protocol{top: top, params: params}
 }
 
@@ -100,7 +100,7 @@ func (p *Protocol) msg(from, to, bytes int) float64 {
 	if from == to {
 		// Same-node controller-to-controller traffic: the topology's local
 		// latency already covers the memory access; transfers stay on-node.
-		lat = p.top.Config().LocalLatency
+		lat = p.top.LocalLatency()
 	}
 	return lat + p.top.TransferTime(bytes)
 }

@@ -7,7 +7,7 @@ import (
 	"repro/internal/topology"
 )
 
-func testTopo(t *testing.T) *topology.Topology {
+func testTopo(t *testing.T) topology.Network {
 	t.Helper()
 	top, err := topology.New(topology.Config{
 		Processors:        64,

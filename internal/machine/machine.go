@@ -24,7 +24,7 @@ import (
 // Machine is one simulated multiprocessor.
 type Machine struct {
 	cfg   Config
-	top   *topology.Topology
+	top   topology.Network
 	as    *memsys.AddressSpace
 	proto *coherence.Protocol
 	// prices memoizes every charge the protocol can produce for this
@@ -92,7 +92,7 @@ func MustNew(cfg Config) *Machine {
 func (m *Machine) Config() Config { return m.cfg }
 
 // Topology returns the machine's interconnect.
-func (m *Machine) Topology() *topology.Topology { return m.top }
+func (m *Machine) Topology() topology.Network { return m.top }
 
 // AddressSpace returns the simulated address space.
 func (m *Machine) AddressSpace() *memsys.AddressSpace { return m.as }

@@ -184,9 +184,9 @@ func (pc *paranoid) checkMiss(p *Proc, a Addr, write bool, sh Sharing, home int)
 			fmt.Sprintf("home=%d", home), fmt.Sprintf("home=%d", ref))
 	}
 	// Read the fast entry through the exact indexing the hot path uses
-	// (nodeRow base + cached writeback row), not the test accessor, so a
+	// (cached distance-class row), not the test accessor, so a
 	// corrupted row pointer is caught as well as a corrupted entry.
-	fast := p.m.prices.miss[priceClass(sh, write)][p.nodeRow+home]
+	fast := p.m.prices.miss[priceClass(sh, write)][p.classRow[home]]
 	ref := priceFor(p.m.top, p.m.proto, p.m.cfg.Coherence, sh, write, p.Node, home)
 	if fast != ref {
 		pc.report(p, a, "price-mismatch", fmtPrice(fast), fmtPrice(ref))
@@ -201,7 +201,7 @@ func (pc *paranoid) checkWriteback(p *Proc, a Addr, home int) {
 		pc.report(p, a, "page-home",
 			fmt.Sprintf("home=%d", home), fmt.Sprintf("home=%d", ref))
 	}
-	fast := p.wbRow[home]
+	fast := p.m.prices.writeback[p.classRow[home]]
 	ref := wbPriceFor(p.m.top, p.m.proto, p.m.cfg.Coherence, p.Node, home)
 	if fast != ref {
 		pc.report(p, a, "writeback-price", fmtPrice(fast), fmtPrice(ref))

@@ -41,14 +41,24 @@ func priceClass(sh Sharing, write bool) int {
 	return i
 }
 
-// priceTable holds the precomputed charges for every (class, requester
-// node, home node) combination, plus the writeback matrix. It is
-// immutable after construction and shared by all processors.
+// priceTable holds the precomputed charges, memoized per topology
+// distance class rather than per (requester, home) node pair: every
+// charge below depends on the pair only through quantities the Network
+// contract guarantees are constant within a distance class (ReadLatency,
+// the remote/local split, and run-constant scalars), so one entry per
+// class is exact and the memo stays O(classes) — not O(nodes²) — on
+// 128–1024-proc machines. classOf carries the pair→class map the hot
+// path indexes through. Immutable after construction and shared by all
+// processors.
 type priceTable struct {
-	nodes int
-	// miss[class][requester*nodes+home] prices one cache miss.
+	nodes   int
+	classes int
+	// classOf[requester*nodes+home] is the topology distance class of
+	// the node pair (class 0 = local).
+	classOf []int32
+	// miss[class][distanceClass] prices one cache miss.
 	miss [numPriceClasses][]priceEntry
-	// writeback[owner*nodes+home] prices one dirty-line eviction
+	// writeback[distanceClass] prices one dirty-line eviction
 	// (directory occupancy plus wire time; the round-trip latency is
 	// off the processor's critical path).
 	writeback []priceEntry
@@ -61,7 +71,7 @@ type priceTable struct {
 // entry the hot path read). The arithmetic replicates the legacy
 // missCharge switch term for term — float addition order matters for
 // byte-identical results.
-func priceFor(top *topology.Topology, proto *coherence.Protocol, params coherence.Params,
+func priceFor(top topology.Network, proto *coherence.Protocol, params coherence.Params,
 	sh Sharing, write bool, req, home int) priceEntry {
 	remote := home != req
 	mk := func(res coherence.Result) priceEntry {
@@ -110,7 +120,7 @@ func priceFor(top *topology.Topology, proto *coherence.Protocol, params coherenc
 // wbPriceFor computes one writeback charge (directory occupancy plus
 // wire time; the round-trip latency is off the processor's critical
 // path), shared by newPriceTable and the paranoid oracle like priceFor.
-func wbPriceFor(top *topology.Topology, proto *coherence.Protocol, params coherence.Params,
+func wbPriceFor(top topology.Network, proto *coherence.Protocol, params coherence.Params,
 	owner, home int) priceEntry {
 	if home == owner {
 		return priceEntry{latencyNs: params.DirOccupancy}
@@ -124,24 +134,33 @@ func wbPriceFor(top *topology.Topology, proto *coherence.Protocol, params cohere
 }
 
 // newPriceTable builds the table by driving the live protocol engine
-// through every combination, so each stored float is bit-identical to
-// what the legacy per-miss computation produced.
-func newPriceTable(top *topology.Topology, proto *coherence.Protocol, params coherence.Params) *priceTable {
+// through the first (requester, home) pair of each distance class in
+// requester-major scan order, so each stored float is bit-identical to
+// what the legacy per-pair computation produced for every pair of the
+// class (the charges are class-constant; see priceTable).
+func newPriceTable(top topology.Network, proto *coherence.Protocol, params coherence.Params) *priceTable {
 	n := top.Nodes()
-	pt := &priceTable{nodes: n}
+	classes := top.NumDistanceClasses()
+	pt := &priceTable{nodes: n, classes: classes, classOf: make([]int32, n*n)}
 	for c := range pt.miss {
-		pt.miss[c] = make([]priceEntry, n*n)
+		pt.miss[c] = make([]priceEntry, classes)
 	}
-	pt.writeback = make([]priceEntry, n*n)
+	pt.writeback = make([]priceEntry, classes)
+	filled := make([]bool, classes)
 	for req := 0; req < n; req++ {
 		for home := 0; home < n; home++ {
-			i := req*n + home
+			dc := top.DistanceClass(req, home)
+			pt.classOf[req*n+home] = int32(dc)
+			if filled[dc] {
+				continue
+			}
+			filled[dc] = true
 			for _, sh := range []Sharing{Private, RemoteProduced, SharedRead, ConflictWrite, DirtyElsewhere} {
 				for _, write := range []bool{false, true} {
-					pt.miss[priceClass(sh, write)][i] = priceFor(top, proto, params, sh, write, req, home)
+					pt.miss[priceClass(sh, write)][dc] = priceFor(top, proto, params, sh, write, req, home)
 				}
 			}
-			pt.writeback[i] = wbPriceFor(top, proto, params, req, home)
+			pt.writeback[dc] = wbPriceFor(top, proto, params, req, home)
 		}
 	}
 	return pt
@@ -150,12 +169,12 @@ func newPriceTable(top *topology.Topology, proto *coherence.Protocol, params coh
 // missEntry returns the charge for one miss (test/inspection accessor;
 // the hot path indexes the rows directly).
 func (pt *priceTable) missEntry(sh Sharing, write bool, requester, home int) priceEntry {
-	return pt.miss[priceClass(sh, write)][requester*pt.nodes+home]
+	return pt.miss[priceClass(sh, write)][pt.classOf[requester*pt.nodes+home]]
 }
 
 // writebackEntry returns the charge for one dirty eviction.
 func (pt *priceTable) writebackEntry(owner, home int) priceEntry {
-	return pt.writeback[owner*pt.nodes+home]
+	return pt.writeback[pt.classOf[owner*pt.nodes+home]]
 }
 
 // CorruptPriceEntryForTest adds deltaNs to the memoized latency of one
@@ -163,5 +182,6 @@ func (pt *priceTable) writebackEntry(owner, home int) priceEntry {
 // tests use it to prove the differential oracle detects a fast-path
 // pricing corruption; it must never be called outside tests.
 func (m *Machine) CorruptPriceEntryForTest(sh Sharing, write bool, requesterNode, home int, deltaNs float64) {
-	m.prices.miss[priceClass(sh, write)][requesterNode*m.prices.nodes+home].latencyNs += deltaNs
+	pt := m.prices
+	pt.miss[priceClass(sh, write)][pt.classOf[requesterNode*pt.nodes+home]].latencyNs += deltaNs
 }

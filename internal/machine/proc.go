@@ -48,11 +48,10 @@ type Proc struct {
 	cache *cache.Cache
 	tlb   *cache.TLB
 
-	// nodeRow is Node * nodes, the base index of this processor's rows
-	// in the machine's pricing table; wbRow is its writeback row slice.
-	// Both are immutable after construction (see pricing.go).
-	nodeRow int
-	wbRow   []priceEntry
+	// classRow is this processor's row of the pricing table's pair→
+	// distance-class map: classRow[home] is the class of (Node, home).
+	// Immutable after construction (see pricing.go).
+	classRow []int32
 
 	clock float64 // virtual time, ns
 	stats ProcStats
@@ -89,8 +88,7 @@ func newProc(m *Machine, id int) *Proc {
 		m:          m,
 		cache:      cache.New(m.cfg.Cache),
 		tlb:        cache.NewTLB(m.cfg.TLB),
-		nodeRow:    node * n,
-		wbRow:      m.prices.writeback[node*n : (node+1)*n],
+		classRow:   m.prices.classOf[node*n : (node+1)*n],
 		contention: 1,
 	}
 	if m.checker != nil {
@@ -347,7 +345,7 @@ func (p *Proc) missChargeHome(home int, write bool, sh Sharing, overlap float64)
 	// Sharing constants mirror trace.TxClass order, so the conversion is
 	// a cast (checked by TestSharingTxClassAlignment).
 	p.countTx(trace.TxClass(sh))
-	e := &p.m.prices.miss[priceClass(sh, write)][p.nodeRow+home]
+	e := &p.m.prices.miss[priceClass(sh, write)][p.classRow[home]]
 	p.stats.Traffic.ProtocolTransactions++
 	if e.remote {
 		p.stats.Traffic.RemoteBytes += e.trafficBytes
@@ -373,7 +371,7 @@ func (p *Proc) chargeWriteback(a Addr) {
 	}
 	p.countTx(trace.TxWriteback)
 	p.stats.Traffic.ProtocolTransactions++
-	e := &p.wbRow[home]
+	e := &p.m.prices.writeback[p.classRow[home]]
 	if e.remote {
 		p.stats.Traffic.RemoteBytes += e.trafficBytes
 		p.chargeRemote(e.latencyNs)

@@ -17,12 +17,17 @@ type agBlock[T any] struct {
 }
 
 // Allgather collects each rank's mine slice on every rank, returning
-// out[r] = rank r's contribution. It uses recursive doubling (log2(p)
-// rounds, doubling block counts each round), so its cost emerges from
-// the point-to-point model — including the staged engine's extra copies
-// and the per-message overheads the paper blames for MPI's fixed costs
-// on small data sets. All ranks must call it collectively; the rank
-// count must be a power of two (machine sizes always are).
+// out[r] = rank r's contribution. At power-of-two rank counts it uses
+// recursive doubling (log2(p) rounds, XOR partners, doubling block
+// counts each round); at other counts — reachable since the
+// interconnect became pluggable and non-power-of-two machines
+// constructible — XOR partners fall outside [0,p) and the exchange
+// switches to a Bruck-style ring: each round every rank ships the
+// blocks it holds to (me−step) mod p and receives from (me+step) mod p,
+// which covers all p blocks in ⌈log2(p)⌉ rounds. Either way the cost
+// emerges from the point-to-point model — including the staged engine's
+// extra copies and the per-message overheads the paper blames for MPI's
+// fixed costs on small data sets. All ranks must call it collectively.
 func Allgather[T any](c *Comm, p *machine.Proc, mine []T) [][]T {
 	ranks := c.Ranks()
 	me := p.ID
@@ -34,9 +39,14 @@ func Allgather[T any](c *Comm, p *machine.Proc, mine []T) [][]T {
 	if ranks == 1 {
 		return out
 	}
+	pow2 := ranks&(ranks-1) == 0
 	es := sizeOf[T]()
 	for step := 1; step < ranks; step <<= 1 {
-		partner := me ^ step
+		sendTo, recvFrom := me^step, me^step
+		if !pow2 {
+			sendTo = (me + ranks - step) % ranks
+			recvFrom = (me + step) % ranks
+		}
 		var blocks []agBlock[T]
 		bytes := 0
 		for i, b := range out {
@@ -45,8 +55,8 @@ func Allgather[T any](c *Comm, p *machine.Proc, mine []T) [][]T {
 				bytes += len(b) * es
 			}
 		}
-		c.Send(p, partner, step, blocks, bytes)
-		msg := c.Recv(p, partner, 0, 0)
+		c.Send(p, sendTo, step, blocks, bytes)
+		msg := c.Recv(p, recvFrom, 0, 0)
 		for _, b := range msg.Payload.([]agBlock[T]) {
 			out[b.idx] = b.data
 		}

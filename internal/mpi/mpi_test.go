@@ -188,6 +188,35 @@ func TestAllgather(t *testing.T) {
 	}
 }
 
+// TestAllgatherNonPowerOfTwoRanks covers the Bruck-style ring schedule:
+// rank counts with no XOR-partner structure, reachable since the
+// interconnect became pluggable (the hypercube rejects them, a torus
+// does not). Every rank must still assemble all contributions.
+func TestAllgatherNonPowerOfTwoRanks(t *testing.T) {
+	for _, procs := range []int{6, 12, 24} {
+		cfg := machine.Origin2000Scaled(procs)
+		cfg.Topology.Kind = "torus"
+		m, err := machine.New(cfg)
+		if err != nil {
+			t.Fatalf("machine.New(%d procs, torus): %v", procs, err)
+		}
+		c := New(m, DefaultDirect())
+		c.Machine().Run(func(p *machine.Proc) {
+			mine := []int64{int64(p.ID), int64(p.ID * 10)}
+			out := Allgather(c, p, mine)
+			if len(out) != procs {
+				t.Errorf("p=%d: got %d blocks", procs, len(out))
+				return
+			}
+			for r := 0; r < procs; r++ {
+				if out[r] == nil || out[r][0] != int64(r) || out[r][1] != int64(r*10) {
+					t.Errorf("p=%d rank %d: out[%d] = %v", procs, p.ID, r, out[r])
+				}
+			}
+		})
+	}
+}
+
 func TestAllgatherSingleRank(t *testing.T) {
 	c := comm(t, 1, DefaultDirect())
 	c.Machine().Run(func(p *machine.Proc) {

@@ -18,6 +18,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mpi"
 	"repro/internal/shmem"
+	"repro/internal/topology"
 )
 
 // Workload describes one radix sort run.
@@ -63,6 +64,12 @@ type Predictor struct {
 	cfg   machine.Config
 	mpi   mpi.Config
 	shmem shmem.Config
+	// remoteAvgNs is the mean uncontended remote read latency the
+	// three-hop estimate uses. On the default hypercube it is the
+	// historical closed form (RemoteBase + 2·Hop, preserved bit-for-bit);
+	// on other interconnects it is the exact mean over all remote node
+	// pairs of the built network.
+	remoteAvgNs float64
 }
 
 // New builds a predictor. The mpi/shmem configs must match the ones the
@@ -71,7 +78,29 @@ func New(cfg machine.Config, mpiCfg mpi.Config, shmemCfg shmem.Config) (*Predict
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Predictor{cfg: cfg, mpi: mpiCfg, shmem: shmemCfg}, nil
+	pr := &Predictor{cfg: cfg, mpi: mpiCfg, shmem: shmemCfg}
+	if cfg.Topology.Kind == "" || cfg.Topology.Kind == topology.KindHypercube {
+		pr.remoteAvgNs = cfg.Topology.RemoteBaseLatency + cfg.Topology.HopLatency*2
+	} else {
+		net, err := topology.New(cfg.Topology)
+		if err != nil {
+			return nil, err
+		}
+		sum, pairs := 0.0, 0
+		for a := 0; a < net.Nodes(); a++ {
+			for b := 0; b < net.Nodes(); b++ {
+				if a != b {
+					sum += net.ReadLatency(a, b)
+					pairs++
+				}
+			}
+		}
+		pr.remoteAvgNs = cfg.Topology.RemoteBaseLatency
+		if pairs > 0 {
+			pr.remoteAvgNs = sum / float64(pairs)
+		}
+	}
+	return pr, nil
 }
 
 // constants mirroring the simulator's per-key ALU charges.
@@ -91,7 +120,7 @@ func (pr *Predictor) localMissNs() float64 {
 
 // remoteMissNs prices an average remote three-hop intervention.
 func (pr *Predictor) remoteMissNs() float64 {
-	avg := pr.cfg.Topology.RemoteBaseLatency + pr.cfg.Topology.HopLatency*2
+	avg := pr.remoteAvgNs
 	return avg + pr.cfg.Coherence.DirOccupancy + avg +
 		float64(pr.cfg.Coherence.DataBytes)/pr.cfg.Topology.LinkBandwidth
 }

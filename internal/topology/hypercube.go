@@ -1,0 +1,172 @@
+package topology
+
+import "fmt"
+
+// Topology is the Origin2000 binary hypercube: nodes paired onto
+// routers, routers wired as a hypercube whose hop count is the Hamming
+// distance between router ids. It is the default network (Config.Kind
+// "" or KindHypercube) and the machine the paper measured; its latency
+// arithmetic is preserved bit-for-bit across the subsystem refactor
+// (internal/topology/paper_test.go pins the published shape).
+type Topology struct {
+	cfg       Config
+	nodes     int
+	routers   int
+	dimension int // hypercube dimension over routers
+	average   float64
+}
+
+// NewHypercube validates cfg and builds the hypercube. Unlike the other
+// network kinds, the hypercube genuinely needs a power-of-two router
+// count — Hamming-distance routing is undefined otherwise — so that
+// constraint lives here, not in the generic New.
+func NewHypercube(cfg Config) (*Topology, error) {
+	nodes, routers, err := shapeOf(cfg)
+	if err != nil {
+		return nil, err
+	}
+	dim := 0
+	for 1<<dim < routers {
+		dim++
+	}
+	if 1<<dim != routers {
+		return nil, fmt.Errorf("topology: hypercube router count %d is not a power of two", routers)
+	}
+	t := &Topology{cfg: cfg, nodes: nodes, routers: routers, dimension: dim}
+	t.average = t.meanReadLatency()
+	return t, nil
+}
+
+// meanReadLatency computes the exact mean uncontended read latency over
+// all ordered node pairs.
+//
+// When every router carries the full NodesPerRouter complement the
+// hypercube is vertex-transitive over nodes, so every row of the latency
+// matrix is a permutation of node 0's row and the node-0 mean IS the
+// all-pairs mean. That fast path keeps the historical addition order
+// (and hence the exact float the paper tests pin, 791.03125 ns for the
+// 64-proc Origin). A ragged last router breaks the symmetry, so the
+// general path takes the exact all-pairs mean instead — the node-0
+// shortcut is measurably wrong there (see TestAverageReadLatencyAsymmetric).
+func (t *Topology) meanReadLatency() float64 {
+	if t.nodes%t.cfg.NodesPerRouter == 0 {
+		sum := 0.0
+		for n := 0; n < t.nodes; n++ {
+			sum += t.ReadLatency(0, n)
+		}
+		return sum / float64(t.nodes)
+	}
+	total := 0.0
+	for a := 0; a < t.nodes; a++ {
+		row := 0.0
+		for b := 0; b < t.nodes; b++ {
+			row += t.ReadLatency(a, b)
+		}
+		total += row
+	}
+	return total / float64(t.nodes*t.nodes)
+}
+
+// Kind returns KindHypercube.
+func (t *Topology) Kind() string { return KindHypercube }
+
+// Config returns the configuration the topology was built from.
+func (t *Topology) Config() Config { return t.cfg }
+
+// Processors returns the total processor count.
+func (t *Topology) Processors() int { return t.cfg.Processors }
+
+// Nodes returns the number of memory nodes.
+func (t *Topology) Nodes() int { return t.nodes }
+
+// Routers returns the number of routers.
+func (t *Topology) Routers() int { return t.routers }
+
+// Dimension returns the hypercube dimension across routers.
+func (t *Topology) Dimension() int { return t.dimension }
+
+// NodeOf returns the node housing processor p.
+func (t *Topology) NodeOf(p int) int {
+	if p < 0 || p >= t.cfg.Processors {
+		panic(fmt.Sprintf("topology: processor %d out of range [0,%d)", p, t.cfg.Processors))
+	}
+	return p / t.cfg.ProcsPerNode
+}
+
+// RouterOf returns the router to which node n attaches.
+func (t *Topology) RouterOf(n int) int {
+	if n < 0 || n >= t.nodes {
+		panic(fmt.Sprintf("topology: node %d out of range [0,%d)", n, t.nodes))
+	}
+	return n / t.cfg.NodesPerRouter
+}
+
+// Hops returns the number of router-to-router hops between the routers of
+// nodes a and b. Two nodes on the same router are 0 hops apart; on a
+// hypercube the hop count is the Hamming distance between router ids.
+func (t *Topology) Hops(a, b int) int {
+	ra, rb := t.RouterOf(a), t.RouterOf(b)
+	x := uint(ra ^ rb)
+	hops := 0
+	for x != 0 {
+		hops += int(x & 1)
+		x >>= 1
+	}
+	return hops
+}
+
+// LocalLatency returns the uncontended latency (ns) of a read satisfied
+// by the local node's memory.
+func (t *Topology) LocalLatency() float64 { return t.cfg.LocalLatency }
+
+// ReadLatency returns the uncontended latency (ns) for a processor on
+// node from to read the first word of a line homed on node to.
+func (t *Topology) ReadLatency(from, to int) float64 {
+	if from == to {
+		return t.cfg.LocalLatency
+	}
+	return t.cfg.RemoteBaseLatency + t.cfg.HopLatency*float64(t.Hops(from, to))
+}
+
+// MaxHops returns the largest hop count between any two nodes, i.e. the
+// hypercube dimension.
+func (t *Topology) MaxHops() int { return t.dimension }
+
+// FurthestReadLatency returns the uncontended latency to the furthest
+// remote memory.
+func (t *Topology) FurthestReadLatency() float64 {
+	if t.nodes == 1 {
+		return t.cfg.LocalLatency
+	}
+	return t.cfg.RemoteBaseLatency + t.cfg.HopLatency*float64(t.dimension)
+}
+
+// AverageReadLatency returns the exact mean uncontended read latency
+// over all ordered (from, to) node pairs — the figure the Origin2000
+// documentation quotes as the "average of local and all remote
+// memories". Precomputed at construction (see meanReadLatency).
+func (t *Topology) AverageReadLatency() float64 { return t.average }
+
+// TransferTime returns the time (ns) to stream size bytes across one
+// link at peak bandwidth. Latency is not included; callers add the
+// appropriate per-transaction latency separately.
+func (t *Topology) TransferTime(size int) float64 {
+	if size <= 0 {
+		return 0
+	}
+	return float64(size) / t.cfg.LinkBandwidth
+}
+
+// DistanceClass returns 0 for local pairs and 1+hops otherwise. Remote
+// latency is affine in the hop count, so pairs of equal hop count have
+// bit-identical latency.
+func (t *Topology) DistanceClass(from, to int) int {
+	if from == to {
+		return 0
+	}
+	return 1 + t.Hops(from, to)
+}
+
+// NumDistanceClasses returns dimension+2: class 0 (local) plus classes
+// 1..dimension+1 for 0..dimension router hops.
+func (t *Topology) NumDistanceClasses() int { return t.dimension + 2 }

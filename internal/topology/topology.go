@@ -1,6 +1,9 @@
-// Package topology models the interconnect of an SGI Origin2000-class
-// CC-NUMA machine: processors grouped into nodes, nodes paired onto
-// routers, and routers wired as a binary hypercube.
+// Package topology models the interconnect of a cache-coherent DSM
+// machine: processors grouped into nodes, nodes attached to routers, and
+// routers wired into one of several network shapes. The default shape is
+// the SGI Origin2000's binary hypercube; a k-ary fat-tree, 2D/3D tori, a
+// dragonfly, and a two-tier chiplet NUMA are available for the
+// beyond-paper scale studies (DESIGN.md §12).
 //
 // The package is purely combinatorial and deterministic. It answers
 // questions such as "how many router hops separate processor 12's node
@@ -8,10 +11,39 @@
 // uncontended latencies using the machine's latency parameters.
 package topology
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
 
-// Config describes the physical organization of the machine.
+// Kind names of the built-in network shapes, usable in Config.Kind.
+const (
+	// KindHypercube is the Origin2000 binary hypercube (the default).
+	KindHypercube = "hypercube"
+	// KindFatTree is a k-ary fat-tree: leaf switches grouped into pods
+	// under aggregation switches, pods joined by a core layer.
+	KindFatTree = "fattree"
+	// KindTorus is a 2D torus (routers on a wrap-around grid).
+	KindTorus = "torus"
+	// KindTorus3D is a 3D torus.
+	KindTorus3D = "torus3d"
+	// KindDragonfly is a dragonfly: all-to-all router groups joined by
+	// long global links.
+	KindDragonfly = "dragonfly"
+	// KindNUMA2 is a two-tier chiplet NUMA: packages of nodes with cheap
+	// intra-package and expensive inter-package links.
+	KindNUMA2 = "numa2"
+)
+
+// Config describes the physical organization of the machine. It is a
+// pure value (no slices or maps), so machine configurations built from
+// it stay comparable and JSON-canonical.
 type Config struct {
+	// Kind selects the network shape by registered name ("" selects
+	// KindHypercube). See New.
+	Kind string
+
 	// Processors is the total processor count. It must be a positive
 	// multiple of ProcsPerNode.
 	Processors int
@@ -38,46 +70,144 @@ type Config struct {
 	// bytes per nanosecond (1.6 GB/s total both directions on the
 	// Origin2000, i.e. 0.8 GB/s per direction = 0.8 bytes/ns).
 	LinkBandwidth float64
+
+	// GlobalHopLatency is the extra latency of one long link: a dragonfly
+	// global link, or a two-tier NUMA inter-package link (nanoseconds).
+	// Zero selects the kind's default (3×HopLatency for the dragonfly,
+	// 6×HopLatency for numa2). Ignored by the other kinds.
+	GlobalHopLatency float64
+	// FatTreeArity is the number of leaf switches per fat-tree pod.
+	// Zero derives ⌈√leaves⌉. Ignored by the other kinds.
+	FatTreeArity int
+	// TorusWidth/TorusHeight/TorusDepth give the router grid of a torus.
+	// For KindTorus, Width×Height must equal the router count (Depth must
+	// be zero); for KindTorus3D, Width×Height×Depth must. Zeros derive a
+	// near-square (near-cubic) factorization. Ignored by the other kinds.
+	TorusWidth  int
+	TorusHeight int
+	TorusDepth  int
+	// DragonflyGroupRouters is the number of routers per dragonfly group.
+	// Zero derives ⌈√routers⌉. Ignored by the other kinds.
+	DragonflyGroupRouters int
+	// PackageNodes is the number of nodes per numa2 package. Zero derives
+	// ⌈nodes/4⌉ (four chiplet packages). Ignored by the other kinds.
+	PackageNodes int
 }
 
-// Topology is an immutable view of the machine's interconnect.
-type Topology struct {
-	cfg       Config
-	nodes     int
-	routers   int
-	dimension int // hypercube dimension over routers
+// Network is an immutable view of one machine interconnect. All
+// implementations are deterministic pure functions of their Config.
+//
+// Two properties are contracts the pricing layer depends on
+// (DESIGN.md §12):
+//
+//   - ReadLatency is symmetric: ReadLatency(a, b) == ReadLatency(b, a)
+//     bit-for-bit, for every node pair.
+//   - ReadLatency and Hops are exact functions of DistanceClass: every
+//     node pair in one distance class has bit-identical latency and
+//     equal hop count, and class 0 is exactly the local (a == a) pairs.
+//
+// TestDistanceClassInvariants enforces both across every registered kind.
+type Network interface {
+	// Kind is the registered name of the network's shape.
+	Kind() string
+	// Config returns the configuration the network was built from.
+	Config() Config
+	// Processors returns the total processor count.
+	Processors() int
+	// Nodes returns the number of memory nodes.
+	Nodes() int
+	// Routers returns the number of routers (switches).
+	Routers() int
+	// NodeOf returns the node housing processor p.
+	NodeOf(p int) int
+	// Hops returns the number of router-to-router hops between the
+	// routers of nodes a and b (0 for nodes sharing a router).
+	Hops(a, b int) int
+	// MaxHops returns the largest hop count between any two nodes.
+	MaxHops() int
+	// LocalLatency returns the uncontended latency (ns) of a read
+	// satisfied by the local node's memory.
+	LocalLatency() float64
+	// ReadLatency returns the uncontended latency (ns) for a processor on
+	// node from to read the first word of a line homed on node to.
+	ReadLatency(from, to int) float64
+	// FurthestReadLatency returns the uncontended latency to the furthest
+	// memory.
+	FurthestReadLatency() float64
+	// AverageReadLatency returns the exact mean uncontended read latency
+	// over all ordered (from, to) node pairs, local pairs included.
+	AverageReadLatency() float64
+	// TransferTime returns the time (ns) to stream size bytes across one
+	// link at peak bandwidth, excluding per-transaction latency.
+	TransferTime(size int) float64
+	// DistanceClass maps a node pair to its distance class in
+	// [0, NumDistanceClasses): an index such that every pair of the class
+	// has bit-identical ReadLatency. Class 0 is the local (from == to)
+	// pairs. The pricing tables are memoized per class, not per pair, so
+	// the memo stays O(classes) at any machine size.
+	DistanceClass(from, to int) int
+	// NumDistanceClasses returns the number of distance classes. Not
+	// every class below the bound need be inhabited.
+	NumDistanceClasses() int
 }
 
-// New validates cfg and builds the topology.
-func New(cfg Config) (*Topology, error) {
-	if cfg.Processors <= 0 {
-		return nil, fmt.Errorf("topology: processors must be positive, got %d", cfg.Processors)
+// Builder constructs one network kind from a configuration.
+type Builder func(Config) (Network, error)
+
+// builders is the kind registry. Built-in kinds register here; Register
+// adds external ones.
+var builders = map[string]Builder{
+	KindHypercube: func(cfg Config) (Network, error) { return NewHypercube(cfg) },
+	KindFatTree:   newFatTree,
+	KindTorus:     newTorus2D,
+	KindTorus3D:   newTorus3D,
+	KindDragonfly: newDragonfly,
+	KindNUMA2:     newNUMA2,
+}
+
+// Register adds a network kind under a name. It panics on an empty name
+// or a duplicate: registration races are programming errors, caught at
+// init time.
+func Register(kind string, build Builder) {
+	if kind == "" || build == nil {
+		panic("topology: Register needs a non-empty kind and a builder")
 	}
-	if cfg.ProcsPerNode <= 0 {
-		return nil, fmt.Errorf("topology: procs per node must be positive, got %d", cfg.ProcsPerNode)
+	if _, dup := builders[kind]; dup {
+		panic(fmt.Sprintf("topology: kind %q registered twice", kind))
 	}
-	if cfg.NodesPerRouter <= 0 {
-		return nil, fmt.Errorf("topology: nodes per router must be positive, got %d", cfg.NodesPerRouter)
+	builders[kind] = build
+}
+
+// Kinds returns the registered kind names, sorted.
+func Kinds() []string {
+	out := make([]string, 0, len(builders))
+	for k := range builders {
+		out = append(out, k)
 	}
-	if cfg.Processors%cfg.ProcsPerNode != 0 {
-		return nil, fmt.Errorf("topology: processors (%d) not a multiple of procs per node (%d)",
-			cfg.Processors, cfg.ProcsPerNode)
+	sort.Strings(out)
+	return out
+}
+
+// New validates cfg and builds the network of cfg.Kind ("" selects the
+// hypercube). Validation is per kind: only the hypercube requires a
+// power-of-two router count, each other shape checks exactly the
+// constraints it needs.
+func New(cfg Config) (Network, error) {
+	kind := cfg.Kind
+	if kind == "" {
+		kind = KindHypercube
 	}
-	nodes := cfg.Processors / cfg.ProcsPerNode
-	routers := (nodes + cfg.NodesPerRouter - 1) / cfg.NodesPerRouter
-	dim := 0
-	for 1<<dim < routers {
-		dim++
+	build, ok := builders[kind]
+	if !ok {
+		return nil, fmt.Errorf("topology: unknown kind %q (known: %s)",
+			cfg.Kind, strings.Join(Kinds(), ", "))
 	}
-	if 1<<dim != routers {
-		return nil, fmt.Errorf("topology: router count %d is not a power of two", routers)
-	}
-	return &Topology{cfg: cfg, nodes: nodes, routers: routers, dimension: dim}, nil
+	return build(cfg)
 }
 
 // MustNew is New but panics on configuration errors. It is intended for
 // the package-level machine presets, whose parameters are static.
-func MustNew(cfg Config) *Topology {
+func MustNew(cfg Config) Network {
 	t, err := New(cfg)
 	if err != nil {
 		panic(err)
@@ -85,91 +215,95 @@ func MustNew(cfg Config) *Topology {
 	return t
 }
 
-// Config returns the configuration the topology was built from.
-func (t *Topology) Config() Config { return t.cfg }
+// shapeOf validates the generic fields every kind shares and returns the
+// node and router counts.
+func shapeOf(cfg Config) (nodes, routers int, err error) {
+	if cfg.Processors <= 0 {
+		return 0, 0, fmt.Errorf("topology: processors must be positive, got %d", cfg.Processors)
+	}
+	if cfg.ProcsPerNode <= 0 {
+		return 0, 0, fmt.Errorf("topology: procs per node must be positive, got %d", cfg.ProcsPerNode)
+	}
+	if cfg.NodesPerRouter <= 0 {
+		return 0, 0, fmt.Errorf("topology: nodes per router must be positive, got %d", cfg.NodesPerRouter)
+	}
+	if cfg.Processors%cfg.ProcsPerNode != 0 {
+		return 0, 0, fmt.Errorf("topology: processors (%d) not a multiple of procs per node (%d)",
+			cfg.Processors, cfg.ProcsPerNode)
+	}
+	nodes = cfg.Processors / cfg.ProcsPerNode
+	routers = (nodes + cfg.NodesPerRouter - 1) / cfg.NodesPerRouter
+	return nodes, routers, nil
+}
 
-// Processors returns the total processor count.
-func (t *Topology) Processors() int { return t.cfg.Processors }
+// base carries the state and methods every Network implementation
+// shares: the configuration, node mapping, link arithmetic, and the
+// distance statistics computed once at construction by finalize.
+type base struct {
+	cfg     Config
+	kind    string
+	nodes   int
+	routers int
 
-// Nodes returns the number of memory nodes.
-func (t *Topology) Nodes() int { return t.nodes }
+	maxHops  int
+	furthest float64
+	average  float64
+}
 
-// Routers returns the number of routers.
-func (t *Topology) Routers() int { return t.routers }
-
-// Dimension returns the hypercube dimension across routers.
-func (t *Topology) Dimension() int { return t.dimension }
+func (b *base) Kind() string          { return b.kind }
+func (b *base) Config() Config        { return b.cfg }
+func (b *base) Processors() int       { return b.cfg.Processors }
+func (b *base) Nodes() int            { return b.nodes }
+func (b *base) Routers() int          { return b.routers }
+func (b *base) LocalLatency() float64 { return b.cfg.LocalLatency }
+func (b *base) MaxHops() int          { return b.maxHops }
 
 // NodeOf returns the node housing processor p.
-func (t *Topology) NodeOf(p int) int {
-	if p < 0 || p >= t.cfg.Processors {
-		panic(fmt.Sprintf("topology: processor %d out of range [0,%d)", p, t.cfg.Processors))
+func (b *base) NodeOf(p int) int {
+	if p < 0 || p >= b.cfg.Processors {
+		panic(fmt.Sprintf("topology: processor %d out of range [0,%d)", p, b.cfg.Processors))
 	}
-	return p / t.cfg.ProcsPerNode
+	return p / b.cfg.ProcsPerNode
 }
-
-// RouterOf returns the router to which node n attaches.
-func (t *Topology) RouterOf(n int) int {
-	if n < 0 || n >= t.nodes {
-		panic(fmt.Sprintf("topology: node %d out of range [0,%d)", n, t.nodes))
-	}
-	return n / t.cfg.NodesPerRouter
-}
-
-// Hops returns the number of router-to-router hops between the routers of
-// nodes a and b. Two nodes on the same router are 0 hops apart; on a
-// hypercube the hop count is the Hamming distance between router ids.
-func (t *Topology) Hops(a, b int) int {
-	ra, rb := t.RouterOf(a), t.RouterOf(b)
-	x := uint(ra ^ rb)
-	hops := 0
-	for x != 0 {
-		hops += int(x & 1)
-		x >>= 1
-	}
-	return hops
-}
-
-// ReadLatency returns the uncontended latency (ns) for a processor on
-// node from to read the first word of a line homed on node to.
-func (t *Topology) ReadLatency(from, to int) float64 {
-	if from == to {
-		return t.cfg.LocalLatency
-	}
-	return t.cfg.RemoteBaseLatency + t.cfg.HopLatency*float64(t.Hops(from, to))
-}
-
-// MaxHops returns the largest hop count between any two nodes, i.e. the
-// hypercube dimension.
-func (t *Topology) MaxHops() int { return t.dimension }
 
 // FurthestReadLatency returns the uncontended latency to the furthest
-// remote memory.
-func (t *Topology) FurthestReadLatency() float64 {
-	if t.nodes == 1 {
-		return t.cfg.LocalLatency
-	}
-	return t.cfg.RemoteBaseLatency + t.cfg.HopLatency*float64(t.dimension)
-}
+// memory.
+func (b *base) FurthestReadLatency() float64 { return b.furthest }
 
-// AverageReadLatency returns the mean uncontended read latency over all
-// (local and remote) destinations from node 0 — the figure the Origin2000
-// documentation quotes as the "average of local and all remote memories".
-// By hypercube symmetry the average is the same from every node.
-func (t *Topology) AverageReadLatency() float64 {
-	sum := 0.0
-	for n := 0; n < t.nodes; n++ {
-		sum += t.ReadLatency(0, n)
-	}
-	return sum / float64(t.nodes)
-}
+// AverageReadLatency returns the exact all-pairs mean uncontended read
+// latency, precomputed at construction.
+func (b *base) AverageReadLatency() float64 { return b.average }
 
 // TransferTime returns the time (ns) to stream size bytes across one
 // link at peak bandwidth. Latency is not included; callers add the
 // appropriate per-transaction latency separately.
-func (t *Topology) TransferTime(size int) float64 {
+func (b *base) TransferTime(size int) float64 {
 	if size <= 0 {
 		return 0
 	}
-	return float64(size) / t.cfg.LinkBandwidth
+	return float64(size) / b.cfg.LinkBandwidth
+}
+
+// finalize computes the distance statistics — max hops, furthest read
+// latency, and the exact all-pairs mean read latency — by scanning every
+// ordered node pair of the finished network. Row sums accumulate before
+// the total so the addition order (and hence the stored float) is a
+// deterministic function of the shape alone.
+func (b *base) finalize(n Network) {
+	total := 0.0
+	for a := 0; a < b.nodes; a++ {
+		row := 0.0
+		for v := 0; v < b.nodes; v++ {
+			if h := n.Hops(a, v); h > b.maxHops {
+				b.maxHops = h
+			}
+			lat := n.ReadLatency(a, v)
+			if lat > b.furthest {
+				b.furthest = lat
+			}
+			row += lat
+		}
+		total += row
+	}
+	b.average = total / float64(b.nodes*b.nodes)
 }

@@ -11,7 +11,7 @@ import (
 // hypercube.
 func origin64(t *testing.T) *Topology {
 	t.Helper()
-	top, err := New(Config{
+	top, err := NewHypercube(Config{
 		Processors:        64,
 		ProcsPerNode:      2,
 		NodesPerRouter:    2,
@@ -21,7 +21,7 @@ func origin64(t *testing.T) *Topology {
 		LinkBandwidth:     0.8,
 	})
 	if err != nil {
-		t.Fatalf("New: %v", err)
+		t.Fatalf("NewHypercube: %v", err)
 	}
 	return top
 }
@@ -217,12 +217,12 @@ func TestNewValidation(t *testing.T) {
 
 func TestSmallMachines(t *testing.T) {
 	// Single node machine: everything is local, zero hops.
-	top, err := New(Config{
+	top, err := NewHypercube(Config{
 		Processors: 2, ProcsPerNode: 2, NodesPerRouter: 2,
 		LocalLatency: 313, HopLatency: 100, RemoteBaseLatency: 600, LinkBandwidth: 0.8,
 	})
 	if err != nil {
-		t.Fatalf("New: %v", err)
+		t.Fatalf("NewHypercube: %v", err)
 	}
 	if top.Nodes() != 1 || top.Routers() != 1 || top.Dimension() != 0 {
 		t.Errorf("single-node shape wrong: nodes=%d routers=%d dim=%d",

@@ -24,6 +24,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/shmem"
 	"repro/internal/sorts"
+	"repro/internal/topology"
 	"repro/internal/trace"
 )
 
@@ -80,6 +81,22 @@ func ParseModel(s string) (Model, error) {
 	return "", fmt.Errorf("repro: unknown model %q", s)
 }
 
+// ParseTopology resolves an interconnect name against the registered
+// network kinds ("" stays "", selecting the default Origin2000
+// hypercube).
+func ParseTopology(s string) (string, error) {
+	if s == "" {
+		return "", nil
+	}
+	for _, k := range topology.Kinds() {
+		if strings.EqualFold(s, k) {
+			return k, nil
+		}
+	}
+	return "", fmt.Errorf("repro: unknown topology %q (known: %s)",
+		s, strings.Join(topology.Kinds(), ", "))
+}
+
 // ParseAlgorithm resolves an algorithm name.
 func ParseAlgorithm(s string) (Algorithm, error) {
 	for _, a := range []Algorithm{Radix, Sample, Psrs} {
@@ -132,6 +149,10 @@ type Experiment struct {
 	Radix int
 	// Dist is the key distribution (default Gauss).
 	Dist keys.Dist
+	// Topo selects the machine's interconnect by registered network kind
+	// ("" = the Origin2000 hypercube; see topology.Kinds and the -topo
+	// flags of the cmd drivers).
+	Topo string
 	// Seed perturbs key generation.
 	Seed uint64
 	// FullSize runs on the unscaled Origin2000 machine parameters.
@@ -159,7 +180,11 @@ type Experiment struct {
 // Label is the canonical human-readable name of the experiment, used to
 // label traces and figure rows.
 func (e Experiment) Label() string {
-	return fmt.Sprintf("%s/%s n=%d p=%d r=%d", e.Algorithm, e.Model, e.N, e.Procs, e.Radix)
+	l := fmt.Sprintf("%s/%s n=%d p=%d r=%d", e.Algorithm, e.Model, e.N, e.Procs, e.Radix)
+	if e.Topo != "" && e.Topo != topology.KindHypercube {
+		l += " topo=" + e.Topo
+	}
+	return l
 }
 
 // MachineConfigFor returns the machine configuration the harness uses
@@ -170,6 +195,7 @@ func (e Experiment) Label() string {
 func MachineConfigFor(e Experiment) machine.Config {
 	if e.FullSize {
 		cfg := machine.Origin2000(e.Procs)
+		cfg.Topology.Kind = e.Topo
 		cfg.TLB.PageSize = 64 << 10
 		if e.N >= SizeClasses[4].PaperN {
 			cfg.TLB.PageSize = 256 << 10
@@ -180,6 +206,7 @@ func MachineConfigFor(e Experiment) machine.Config {
 		return cfg
 	}
 	cfg := machine.Origin2000Scaled(e.Procs)
+	cfg.Topology.Kind = e.Topo
 	cfg.TLB.PageSize = (64 << 10) / machine.ScaleFactor
 	if e.N >= SizeClasses[4].ScaledN {
 		cfg.TLB.PageSize = (256 << 10) / machine.ScaleFactor
@@ -229,6 +256,11 @@ func Run(e Experiment) (*Outcome, error) {
 	}
 	if e.Procs <= 0 {
 		return nil, fmt.Errorf("repro: Procs must be positive, got %d", e.Procs)
+	}
+	if (e.Model == CCSAS || e.Model == CCSASNew) && e.Procs&(e.Procs-1) != 0 {
+		// The SPLASH-2 binary prefix tree is structurally a complete
+		// binary tree over the processors.
+		return nil, fmt.Errorf("repro: %s needs a power-of-two processor count, got %d", e.Model, e.Procs)
 	}
 	in, err := keys.Generate(e.Dist, keys.GenConfig{
 		N: e.N, Procs: e.Procs, RadixBits: e.Radix, Seed: e.Seed,
