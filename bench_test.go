@@ -160,6 +160,38 @@ func BenchmarkGridSchedulerParallel(b *testing.B) {
 	benchGridAtParallelism(b, runtime.GOMAXPROCS(0))
 }
 
+// BenchmarkBigCellFig4 runs one fig4-representative cell (radix sort,
+// CC-SAS-NEW, 4M keys, 64 processors) — the class of cell that
+// dominates the full grids' host time. It is the headline number for
+// the batched access-stream engine; wired into CI's bench-smoke step.
+func BenchmarkBigCellFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := Run(Experiment{
+			Algorithm: Radix, Model: CCSASNew,
+			N: 4194304, Procs: 64, Radix: 8, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(out.TimeNs/1e6, "simMs")
+	}
+}
+
+// BenchmarkBigCellFig8 runs one fig8-representative cell (sample sort,
+// CC-SAS, 4M keys, 64 processors).
+func BenchmarkBigCellFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := Run(Experiment{
+			Algorithm: Sample, Model: CCSAS,
+			N: 4194304, Procs: 64, Radix: 8, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(out.TimeNs/1e6, "simMs")
+	}
+}
+
 // BenchmarkSingleSorts times each algorithm/model pair directly (the
 // kernel the library exposes), one sub-benchmark per combination.
 func BenchmarkSingleSorts(b *testing.B) {

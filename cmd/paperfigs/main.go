@@ -174,6 +174,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		benchjson = fs.Bool("benchjson", false, "write per-figure wall-clock/simulated metrics to -benchout")
 		benchout  = fs.String("benchout", "BENCH_paperfigs.json", "output path for -benchjson")
 		paranoid  = fs.Bool("paranoid", false, "shadow every access with the reference models and invariant checks (slow; fails on any violation)")
+		paranoidN = fs.Int("paranoid-sample", 0, "spot-sample the paranoid checks every N priced events (0/1 = full per-access checks; N>1 implies -paranoid and keeps the fast kernels)")
 		traceTo   = fs.String("trace", "", "write every cell's event trace to this Chrome trace_event JSON file")
 		cpuprof   = fs.String("cpuprofile", "", "write a CPU profile to this file (feeds the default.pgo PGO profile)")
 		verbose   = fs.Bool("v", false, "print one line per completed run")
@@ -205,7 +206,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("unknown experiment %q (want all, table1, fig1..fig10, figpsrs, table23, or figtopo)", *exp)
 	}
 
-	opts := repro.Options{Seed: *seed, Parallelism: *par, Trace: *traceTo != "", Paranoid: *paranoid}
+	opts := repro.Options{Seed: *seed, Parallelism: *par, Trace: *traceTo != "", Paranoid: *paranoid, ParanoidSampleEvery: *paranoidN}
 	if *sizes != "" {
 		for _, s := range strings.Split(*sizes, ",") {
 			sc, err := repro.SizeByLabel(strings.TrimSpace(s))

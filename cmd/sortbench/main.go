@@ -75,6 +75,7 @@ func main() {
 		seed       = flag.Uint64("seed", 0, "key generation seed")
 		full       = flag.Bool("full", false, "use the full-size (unscaled) Origin2000 parameters")
 		paranoid   = flag.Bool("paranoid", false, "shadow every access with the reference models and invariant checks (slow; fails on any violation)")
+		paranoidN  = flag.Int("paranoid-sample", 0, "spot-sample the paranoid checks every N priced events (0/1 = full per-access checks; N>1 implies -paranoid and keeps the fast kernels)")
 		perproc    = flag.Bool("perproc", false, "print the per-processor breakdown")
 		traceTo    = flag.String("trace", "", "write a Chrome trace_event JSON trace to this file")
 		metrics    = flag.String("metrics", "", "write the flat metrics map as JSON to this file")
@@ -107,7 +108,8 @@ func main() {
 	out, err := repro.Run(repro.Experiment{
 		Algorithm: a, Model: m, N: *n, Procs: *procs, Radix: *radix,
 		Dist: d, Topo: tp, Seed: *seed, FullSize: *full, Paranoid: *paranoid,
-		Trace: *traceTo != "" || *metrics != "",
+		ParanoidSampleEvery: *paranoidN,
+		Trace:               *traceTo != "" || *metrics != "",
 	})
 	wall := time.Since(start)
 	if err != nil {

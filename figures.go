@@ -40,6 +40,9 @@ type Options struct {
 	// run with a structured error. Outputs are unchanged — tables and
 	// figures stay byte-identical — but host time grows severalfold.
 	Paranoid bool
+	// ParanoidSampleEvery spot-samples the paranoid checks (see
+	// Experiment.ParanoidSampleEvery); N > 1 implies Paranoid.
+	ParanoidSampleEvery int
 	// Trace records a virtual-time event trace for every experiment cell
 	// (baselines excluded — they are cached and shared across drivers).
 	// Traces accumulate on the harness in deterministic submission order
@@ -202,7 +205,7 @@ func (h *Harness) BaselineTime(n int, dist keys.Dist) (float64, error) {
 		out, err := runFn(Experiment{
 			Algorithm: Radix, Model: Seq, N: n, Procs: 1, Radix: 8,
 			Dist: dist, Seed: h.opts.Seed, FullSize: h.opts.FullSize,
-			Paranoid: h.opts.Paranoid,
+			Paranoid: h.opts.Paranoid, ParanoidSampleEvery: h.opts.ParanoidSampleEvery,
 		})
 		if err != nil {
 			e.err = err
@@ -280,6 +283,7 @@ func (h *Harness) run(e Experiment) (*Outcome, error) {
 	e.FullSize = h.opts.FullSize
 	e.Trace = h.opts.Trace
 	e.Paranoid = h.opts.Paranoid
+	e.ParanoidSampleEvery = h.opts.ParanoidSampleEvery
 	out, err := Run(e)
 	if err != nil {
 		return nil, err

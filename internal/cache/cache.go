@@ -300,6 +300,97 @@ func (c *Cache) accessSlow(lineNum uint64, write bool) AccessResult {
 	return res
 }
 
+// A Lane is a per-stream line memo for the batched access kernels
+// (machine's stream engine): each concurrent access stream of a kernel —
+// the sequential key sweep, the histogram gather, the scattered store —
+// holds its own Lane, so the streams stop evicting each other out of the
+// cache's two shared memo entries and a same-line run costs one compare
+// per access after its first touch (this is the run-coalescing fast
+// path: the first touch of a line is simulated exactly, the remaining
+// touches of the run take the lane hit).
+//
+// A Lane is self-validating, so it needs no registry and no
+// invalidation hooks: the fast path re-checks that the slot it points at
+// still holds a valid line with the lane's tag. The pointed-at slot
+// belongs to one set forever and the lane's line number fixes both the
+// set and the tag, so a passing check identifies exactly the lane's line
+// — a slot refilled with any other line, an invalidated line, or a
+// flushed cache all fail the compare and fall through to the normal
+// path. A lane hit performs the same stats/LRU/dirty updates as the
+// probe it skips, so behavior is bit-identical to plain Access
+// (FuzzAccessOracle drives both side by side).
+type Lane struct {
+	lineNum uint64
+	// want is the meta word of a valid, clean line with lineNum's tag
+	// (precomputed at capture so the hit test is one masked compare).
+	want uint64
+	ln   *line
+}
+
+// Reset empties the lane; the next access through it takes the normal
+// path and recaptures.
+func (l *Lane) Reset() { l.lineNum = memoNone; l.ln = nil; l.want = 0 }
+
+// AccessLane is Access with the lane as a private memo: identical
+// observable behavior (stats, LRU, dirty bits, hit/miss/writeback), but
+// the memoized-hit test uses the caller's lane, so interleaved streams
+// each keep their own hot line. The cache's shared memo entries are
+// not rotated on a lane hit; they are pure accelerators, so skipping
+// them changes no modeled outcome.
+func (c *Cache) AccessLane(l *Lane, a Addr, write bool) AccessResult {
+	if c.LaneHit(l, a, write) {
+		return accessHit
+	}
+	return c.laneSlow(l, uint64(a)>>c.lineShift, write)
+}
+
+// LaneHit is the inlinable half of AccessLane: it counts the access and
+// completes it if it hits the lane, reporting whether it did. On false
+// the caller must finish the access with AccessLaneMiss (the access is
+// already counted; calling neither would desynchronize the stats). The
+// split lets a kernel's per-element loop resolve lane hits without any
+// function call.
+func (c *Cache) LaneHit(l *Lane, a Addr, write bool) bool {
+	c.stats.Accesses++
+	if uint64(a)>>c.lineShift == l.lineNum && l.ln.meta&^uint64(lineDirty) == l.want {
+		ln := l.ln
+		ln.lru = c.stats.Accesses
+		if write {
+			ln.meta |= lineDirty
+		}
+		return true
+	}
+	return false
+}
+
+// AccessLaneMiss completes an access whose LaneHit returned false,
+// resolving it through the cache's normal path and recapturing the lane.
+func (c *Cache) AccessLaneMiss(l *Lane, a Addr, write bool) AccessResult {
+	return c.laneSlow(l, uint64(a)>>c.lineShift, write)
+}
+
+// laneSlow resolves a lane miss through the cache's normal path (shared
+// memo, probe, fill) and recaptures the lane: every exit of that path
+// leaves the just-touched line as the MRU memo entry, which is exactly
+// the line the lane should name.
+func (c *Cache) laneSlow(l *Lane, lineNum uint64, write bool) AccessResult {
+	var res AccessResult
+	if lineNum == c.lastLineNum {
+		ln := c.lastLine
+		ln.lru = c.stats.Accesses
+		if write {
+			ln.meta |= lineDirty
+		}
+		res = accessHit
+	} else {
+		res = c.accessSlow(lineNum, write)
+	}
+	l.lineNum = lineNum
+	l.ln = c.lastLine
+	l.want = lineNum>>c.tagShift<<lineTagLSB | lineValid
+	return res
+}
+
 // probe is the general-associativity one-pass hit/victim scan: it
 // returns the hitting line, or the victim (first invalid way, else the
 // lowest-LRU way). Valid lines always have lru >= 1, so oldest == 0

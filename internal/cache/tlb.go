@@ -80,6 +80,78 @@ type TLB struct {
 	// Stats assembles the exported view.
 	accesses uint64
 	misses   uint64
+	// lanes are the attached per-stream page memos (see TLBLane). Unlike
+	// cache lanes they need a registry: a TLB hit has no per-line state
+	// to re-validate against, so eviction and Flush must clear any lane
+	// naming a page that left the resident set.
+	lanes []*TLBLane
+}
+
+// A TLBLane is a per-stream page memo for the batched access kernels:
+// each access stream of a kernel holds its own lane, so interleaved
+// streams stop churning the TLB's three shared memo entries. A lane hit
+// counts the access and does nothing else — exactly what a plain Access
+// hit of a memoized resident page does — so behavior is bit-identical.
+//
+// Lanes must be attached (AttachLane) before use and detached
+// (DetachLanes) when the kernel finishes; while attached, translateSlow's
+// eviction and Flush clear any lane naming the dropped page, preserving
+// the invariant that a lane never names a non-resident page.
+type TLBLane struct {
+	page uint64
+}
+
+// AttachLane registers l with the TLB's eviction bookkeeping and empties
+// it. Attach a lane once per kernel invocation; lanes are not reentrant.
+func (t *TLB) AttachLane(l *TLBLane) {
+	l.page = memoNone
+	t.lanes = append(t.lanes, l)
+}
+
+// DetachLanes unregisters every attached lane (kernels attach and detach
+// in a strict bracket; lanes never stay registered across kernel calls).
+// The registry's backing array is retained, so a detach/attach cycle
+// does not allocate.
+func (t *TLB) DetachLanes() {
+	for i := range t.lanes {
+		t.lanes[i] = nil
+	}
+	t.lanes = t.lanes[:0]
+}
+
+// AccessLane is Access with the lane as a private memo: identical
+// counters and miss decisions, but the memoized-hit test uses the
+// caller's lane. A lane hit skips the shared three-entry memo rotation;
+// hits do not mutate FIFO state, so the skip is exact.
+func (t *TLB) AccessLane(l *TLBLane, a Addr) bool {
+	if t.LaneHit(l, a) {
+		return false
+	}
+	return t.laneSlow(l, uint64(a)>>t.pageShift)
+}
+
+// LaneHit is the inlinable half of AccessLane: it counts the access and
+// reports whether it hit the lane (hits have no further effect). On
+// false the caller must finish the translation with LaneRefill (the
+// access is already counted). The split lets a kernel's per-element
+// loop resolve lane hits without any function call.
+func (t *TLB) LaneHit(l *TLBLane, a Addr) bool {
+	t.accesses++
+	return uint64(a)>>t.pageShift == l.page
+}
+
+// LaneRefill completes a translation whose LaneHit returned false,
+// reporting whether it missed the TLB.
+func (t *TLB) LaneRefill(l *TLBLane, a Addr) bool {
+	return t.laneSlow(l, uint64(a)>>t.pageShift)
+}
+
+// laneSlow resolves a lane miss through the normal translation path and
+// recaptures the lane.
+func (t *TLB) laneSlow(l *TLBLane, page uint64) bool {
+	miss := t.translate(page)
+	l.page = page
+	return miss
 }
 
 // NewTLB builds a TLB. It panics on invalid configuration; geometries
@@ -229,6 +301,11 @@ func (t *TLB) translateSlow(page uint64) (miss bool) {
 		if evicted == t.prev2Page {
 			t.prev2Page = memoNone
 		}
+		for _, ln := range t.lanes {
+			if ln.page == evicted {
+				ln.page = memoNone
+			}
+		}
 		t.ring[t.head] = page
 		t.head++
 		if t.head == t.cfg.Entries {
@@ -276,4 +353,7 @@ func (t *TLB) Flush() {
 	t.lastPage = memoNone
 	t.prevPage = memoNone
 	t.prev2Page = memoNone
+	for _, ln := range t.lanes {
+		ln.page = memoNone
+	}
 }

@@ -11,7 +11,11 @@ import (
 // writes, strided and random, page-crossing, with invalidations and
 // flushes mixed in — through the fast-path cache/TLB models and the
 // unmemoized reference models side by side, and requires bit-identical
-// results on every operation plus identical final counters.
+// results on every operation plus identical final counters. Each access
+// is randomly routed through the plain shared-memo path, a per-stream
+// lane (cache.Lane / cache.TLBLane), or the split LaneHit/miss-completer
+// pair the batched kernels inline, so the lane machinery faces the same
+// oracle as the paths it accelerates.
 //
 // Two cache geometries run the same stream: the Origin-style 2-way
 // shape exercises the unrolled probe and the line memos, a 4-way shape
@@ -27,6 +31,15 @@ func FuzzAccessOracle(f *testing.F) {
 	f.Add([]byte{0x00, 0x00, 0x01, 0x03, 0x00, 0x41, 0x00, 0x40, 0x01, 0x03, 0x40, 0x41})
 	f.Add([]byte{0x03, 0x00, 0x02, 0x06, 0x00, 0x02, 0x07, 0x00, 0x00, 0x00, 0x00, 0x02})
 	f.Add([]byte{0x2D, 0xF0, 0x03, 0x5D, 0x10, 0x04, 0x00, 0xFF, 0xFF})
+	// Stream-shaped seeds for the lane paths (op bits 3-4 select plain /
+	// lane0 / lane1 / the inlined LaneHit+miss split): a gather/scatter
+	// mix on lane 0, a same-line run through the split path, interleaved
+	// two-lane streams, and a page-straddling run (1 KB pages, so
+	// 0x0400 is a page boundary).
+	f.Add([]byte{0x0B, 0x40, 0x01, 0x08, 0x90, 0x00, 0x0B, 0x00, 0x3C, 0x08, 0x44, 0x01})
+	f.Add([]byte{0x18, 0x00, 0x02, 0x18, 0x04, 0x02, 0x18, 0x08, 0x02, 0x1B, 0x0C, 0x02})
+	f.Add([]byte{0x08, 0x00, 0x10, 0x13, 0x00, 0x80, 0x08, 0x40, 0x10, 0x13, 0x40, 0x80})
+	f.Add([]byte{0x3B, 0xFC, 0x03, 0x3B, 0x00, 0x04, 0x18, 0xF8, 0x03, 0x18, 0x04, 0x04, 0x07, 0x00, 0x00})
 
 	ccfgs := []cache.Config{
 		{Size: 4096, LineSize: 64, Ways: 2}, // unrolled 2-way probe + memo
@@ -41,16 +54,49 @@ func FuzzAccessOracle(f *testing.F) {
 			ftlb := cache.NewTLB(tcfg)
 			rtlb := check.NewRefTLB(tcfg)
 
+			// Two cache lanes and two attached TLB lanes on the fast side
+			// model a stream kernel's per-stream memos; the reference side
+			// always uses the plain path, so any lane-vs-plain divergence
+			// (results, counters, replacement) fails the oracle.
+			var lanes [2]cache.Lane
+			var tlanes [2]cache.TLBLane
+			lanes[0].Reset()
+			lanes[1].Reset()
+			ftlb.AttachLane(&tlanes[0])
+			ftlb.AttachLane(&tlanes[1])
+
 			for i := 0; i+3 <= len(data); i += 3 {
 				op := data[i]
 				a := cache.Addr(uint64(data[i+1]) | uint64(data[i+2])<<8)
 				switch op & 7 {
 				case 0, 1, 2, 3, 4: // access; ops 3-4 write
 					write := op&7 >= 3
-					if fm, rm := ftlb.Access(a), rtlb.Access(a); fm != rm {
-						t.Fatalf("%+v op %d: tlb.Access(%#x) fast=%v ref=%v", ccfg, i, a, fm, rm)
+					var fm bool
+					var fr cache.AccessResult
+					switch (op >> 3) & 3 {
+					case 0: // plain shared-memo path
+						fm = ftlb.Access(a)
+						fr = fast.Access(a, write)
+					case 1, 2: // lane path, one of two interleaved streams
+						li := int((op>>3)&3) - 1
+						fm = ftlb.AccessLane(&tlanes[li], a)
+						fr = fast.AccessLane(&lanes[li], a, write)
+					case 3: // the split the kernels inline
+						li := int(op>>5) & 1
+						fm = false
+						if !ftlb.LaneHit(&tlanes[li], a) {
+							fm = ftlb.LaneRefill(&tlanes[li], a)
+						}
+						if fast.LaneHit(&lanes[li], a, write) {
+							fr = cache.AccessResult{Hit: true}
+						} else {
+							fr = fast.AccessLaneMiss(&lanes[li], a, write)
+						}
 					}
-					fr := fast.Access(a, write)
+					rm := rtlb.Access(a)
+					if fm != rm {
+						t.Fatalf("%+v op %d: tlb access (%#x) fast=%v ref=%v", ccfg, i, a, fm, rm)
+					}
 					rr := ref.Access(a, write)
 					if fr.Hit != rr.Hit || fr.WriteBack != rr.WriteBack ||
 						(fr.WriteBack && fr.WritebackAddr != rr.WritebackAddr) {

@@ -1,0 +1,112 @@
+package machine
+
+import (
+	"reflect"
+	"sync"
+	"unsafe"
+)
+
+// This file is the per-machine slab arena (DESIGN.md §13): Array backing
+// slices are carved out of pooled []uint64 slabs instead of fresh heap
+// allocations, and Machine.Release returns every slab a machine borrowed
+// to a process-wide pool. A grid of experiment cells (paperfigs,
+// bench_test) builds one machine per cell with near-identical array
+// footprints, so after the first cell the steady state allocates no
+// array memory at all (TestArenaReuse).
+//
+// Slabs hold only pointer-free element types (the sorts use uint32 keys
+// and int32/int64 bookkeeping), so viewing a []uint64 slab as []T is
+// safe for the garbage collector; any other element type silently falls
+// back to a plain make.
+
+// slabPool is the process-wide free list, bucketed by power-of-two word
+// count. Machines borrow under a mutex at array-construction time — not
+// on any simulated-access path — so contention is negligible.
+var slabPool struct {
+	mu      sync.Mutex
+	classes [48][][]uint64
+}
+
+// slabClass returns the smallest power-of-two class holding words words.
+func slabClass(words int) int {
+	c := 0
+	for 1<<c < words {
+		c++
+	}
+	return c
+}
+
+// slabGet pops a pooled slab of at least words words, or allocates one.
+func slabGet(words int) []uint64 {
+	c := slabClass(words)
+	slabPool.mu.Lock()
+	if free := slabPool.classes[c]; len(free) > 0 {
+		s := free[len(free)-1]
+		free[len(free)-1] = nil
+		slabPool.classes[c] = free[:len(free)-1]
+		slabPool.mu.Unlock()
+		return s
+	}
+	slabPool.mu.Unlock()
+	return make([]uint64, 1<<c)
+}
+
+// slabPut returns slabs to the pool.
+func slabPut(slabs [][]uint64) {
+	slabPool.mu.Lock()
+	for _, s := range slabs {
+		c := slabClass(cap(s))
+		slabPool.classes[c] = append(slabPool.classes[c], s[:cap(s)])
+	}
+	slabPool.mu.Unlock()
+}
+
+// arenaBacked reports whether []T may be backed by slab memory: T must
+// be a pointer-free numeric type no more strictly aligned than uint64.
+func arenaBacked[T any]() bool {
+	var zero T
+	switch reflect.TypeOf(zero).Kind() {
+	case reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64, reflect.Int,
+		reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uint,
+		reflect.Float32, reflect.Float64:
+		return true
+	}
+	return false
+}
+
+// arenaMake returns a zeroed n-element slice backed by a slab borrowed
+// from the pool (recorded for release with the machine), with capacity
+// extending over the whole slab so Grow can extend in place. Non-numeric
+// element types fall back to a plain allocation.
+func arenaMake[T any](m *Machine, n, elemSize int) []T {
+	if n == 0 {
+		return nil
+	}
+	if m == nil || !arenaBacked[T]() {
+		return make([]T, n)
+	}
+	words := (n*elemSize + 7) / 8
+	s := slabGet(words)
+	clear(s[:words])
+	m.arenaMu.Lock()
+	m.arena = append(m.arena, s)
+	m.arenaMu.Unlock()
+	full := unsafe.Slice((*T)(unsafe.Pointer(&s[0])), cap(s)*8/elemSize)
+	return full[:n]
+}
+
+// Release returns every slab this machine's arrays borrowed to the
+// process-wide pool. Call it when the machine and everything aliasing
+// its arrays' Data slices are done: released slabs are handed to later
+// machines, which zero and overwrite them. Safe to call more than once;
+// the machine remains usable, but arrays created before Release must no
+// longer be used.
+func (m *Machine) Release() {
+	m.arenaMu.Lock()
+	slabs := m.arena
+	m.arena = nil
+	m.arenaMu.Unlock()
+	if len(slabs) > 0 {
+		slabPut(slabs)
+	}
+}

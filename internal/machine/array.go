@@ -14,6 +14,7 @@ type Array[T any] struct {
 	// Data is the backing slice; index i corresponds to address Addr(i).
 	Data []T
 
+	m      *Machine
 	region *memsys.Region
 	// base caches region.Base() so the per-element address computation
 	// in Load/Store stays free of pointer chasing and inlines into the
@@ -22,9 +23,13 @@ type Array[T any] struct {
 	elemSize int
 }
 
-// newArray wraps a region in an n-element Array.
-func newArray[T any](r *memsys.Region, n, elemSize int) *Array[T] {
-	return &Array[T]{Data: make([]T, n), region: r, base: r.Base(), elemSize: elemSize}
+// newArray wraps a region in an n-element Array whose backing slice
+// comes from the machine's slab arena (arena.go).
+func newArray[T any](m *Machine, r *memsys.Region, n, elemSize int) *Array[T] {
+	return &Array[T]{
+		Data: arenaMake[T](m, n, elemSize),
+		m:    m, region: r, base: r.Base(), elemSize: elemSize,
+	}
 }
 
 // elemSizeOf returns the in-memory size of T.
@@ -40,7 +45,7 @@ func elemSizeOf[T any]() int {
 func NewArrayBlocked[T any](m *Machine, name string, n int) *Array[T] {
 	es := elemSizeOf[T]()
 	r := m.as.AllocBlocked(name, n*es, m.Procs())
-	return newArray[T](r, n, es)
+	return newArray[T](m, r, n, es)
 }
 
 // NewArrayRoundRobin allocates an n-element array with pages spread
@@ -49,7 +54,7 @@ func NewArrayBlocked[T any](m *Machine, name string, n int) *Array[T] {
 func NewArrayRoundRobin[T any](m *Machine, name string, n int) *Array[T] {
 	es := elemSizeOf[T]()
 	r := m.as.AllocRoundRobin(name, n*es)
-	return newArray[T](r, n, es)
+	return newArray[T](m, r, n, es)
 }
 
 // NewArrayOnProc allocates an n-element array homed entirely on the node
@@ -58,7 +63,7 @@ func NewArrayRoundRobin[T any](m *Machine, name string, n int) *Array[T] {
 func NewArrayOnProc[T any](m *Machine, name string, n, proc int) *Array[T] {
 	es := elemSizeOf[T]()
 	r := m.as.AllocOnNode(name, n*es, m.top.NodeOf(proc))
-	return newArray[T](r, n, es)
+	return newArray[T](m, r, n, es)
 }
 
 // NewArrayReserve allocates an address range for capElems elements homed
@@ -70,12 +75,15 @@ func NewArrayOnProc[T any](m *Machine, name string, n, proc int) *Array[T] {
 func NewArrayReserve[T any](m *Machine, name string, capElems, proc int) *Array[T] {
 	es := elemSizeOf[T]()
 	r := m.as.AllocOnNode(name, capElems*es, m.top.NodeOf(proc))
-	return &Array[T]{Data: nil, region: r, base: r.Base(), elemSize: es}
+	return &Array[T]{Data: nil, m: m, region: r, base: r.Base(), elemSize: es}
 }
 
 // Grow extends Data to hold at least n elements (bounded by the reserved
 // capacity) and returns the array. Growing is a host-side operation with
-// no simulated cost.
+// no simulated cost. Capacity at least doubles on each reallocation
+// (bounded by the reservation), so growing an array one chunk at a time
+// costs O(n) copying overall, not O(n²); reslices within capacity copy
+// nothing. New elements read as zero either way.
 func (a *Array[T]) Grow(n int) *Array[T] {
 	if n <= len(a.Data) {
 		return a
@@ -84,9 +92,25 @@ func (a *Array[T]) Grow(n int) *Array[T] {
 		panic(fmt.Sprintf("machine: Grow(%d) exceeds region %q capacity %d elems",
 			n, a.region.Name(), a.region.Size()/a.elemSize))
 	}
-	grown := make([]T, n)
+	if n <= cap(a.Data) {
+		// Slab tails may hold stale bytes from a previous borrower; a
+		// fresh make-backed tail is already zero, but clearing is cheap
+		// and keeps the contract uniform.
+		ext := a.Data[len(a.Data):n]
+		clear(ext)
+		a.Data = a.Data[:n]
+		return a
+	}
+	newCap := 2 * cap(a.Data)
+	if newCap < n {
+		newCap = n
+	}
+	if max := a.region.Size() / a.elemSize; newCap > max {
+		newCap = max
+	}
+	grown := arenaMake[T](a.m, newCap, a.elemSize)
 	copy(grown, a.Data)
-	a.Data = grown
+	a.Data = grown[:n]
 	return a
 }
 

@@ -63,6 +63,15 @@ type Config struct {
 	// slows down severalfold; violations accumulate on
 	// Machine.Checker().
 	Paranoid bool
+	// ParanoidSampleEvery spot-samples paranoid mode: 0 or 1 shadows
+	// every access (full mode, byte-identical to Paranoid alone); N > 1
+	// implies Paranoid and runs only the stateless oracles (page home,
+	// price table, directory legality, clock invariants) on every Nth
+	// priced event, skipping the per-access reference cache/TLB diff.
+	// Transaction-class counting and the accounting identities still
+	// cover every event, so a corrupted price table or broken accounting
+	// is caught even at large N — at a fraction of full mode's host cost.
+	ParanoidSampleEvery int
 
 	// Coherence sets the protocol message cost constants. Zero value is
 	// replaced by coherence.DefaultParams(Cache.LineSize) in Validate.
@@ -82,6 +91,12 @@ func (c *Config) Validate() error {
 	}
 	if c.OpNs <= 0 {
 		return fmt.Errorf("machine: OpNs must be positive, got %v", c.OpNs)
+	}
+	if c.ParanoidSampleEvery < 0 {
+		return fmt.Errorf("machine: ParanoidSampleEvery must be non-negative, got %d", c.ParanoidSampleEvery)
+	}
+	if c.ParanoidSampleEvery > 1 {
+		c.Paranoid = true
 	}
 	if c.Coherence == (coherence.Params{}) {
 		c.Coherence = coherence.DefaultParams(c.Cache.LineSize)

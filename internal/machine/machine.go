@@ -40,6 +40,13 @@ type Machine struct {
 	// checker collects paranoid-mode violations, nil unless
 	// Config.Paranoid (see internal/check and paranoid.go).
 	checker *check.Checker
+
+	// arena is the slab memory this machine's arrays have borrowed from
+	// the process-wide pool; Release returns it (see arena.go). arenaMu
+	// guards it: Grow reallocations happen inside Run bodies, so
+	// concurrent processors can borrow slabs at the same time.
+	arenaMu sync.Mutex
+	arena   [][]uint64
 }
 
 // New builds a machine from cfg. The configuration is validated and its

@@ -79,14 +79,42 @@ type paranoid struct {
 	// tx mirrors the per-class protocol-transaction counts the trace
 	// subsystem would record, whether or not tracing is on.
 	tx [trace.NumTxClasses]int64
+
+	// sampleEvery is Config.ParanoidSampleEvery: 0 or 1 shadows every
+	// access through the reference models; N > 1 spot-samples, running
+	// only the stateless oracles (home, price, directory, clock) on every
+	// Nth priced event so paranoid stays usable on 10⁸+-access runs.
+	sampleEvery int
+	// evCount numbers the priced events for the spot-sampling decision.
+	evCount uint64
 }
 
 func newParanoid(m *Machine, ck *check.Checker) *paranoid {
-	return &paranoid{
-		ck:    ck,
-		cache: check.NewRefCache(m.cfg.Cache),
-		tlb:   check.NewRefTLB(m.cfg.TLB),
+	pc := &paranoid{ck: ck, sampleEvery: m.cfg.ParanoidSampleEvery}
+	if pc.perAccess() {
+		// Full mode shadows every access differentially; sampled mode
+		// never consults the reference models, so it skips building them
+		// (they would only go stale).
+		pc.cache = check.NewRefCache(m.cfg.Cache)
+		pc.tlb = check.NewRefTLB(m.cfg.TLB)
 	}
+	return pc
+}
+
+// perAccess reports whether every access must route through the fully
+// hooked per-access path (full paranoid mode). Sampled mode lets the
+// stream kernels keep their fast path: kernel misses still flow through
+// the hooked missCharge, which is where the sampled oracles live.
+func (pc *paranoid) perAccess() bool { return pc.sampleEvery <= 1 }
+
+// sampleHit numbers one priced event and reports whether the stateless
+// oracles should run on it. Full mode samples everything.
+func (pc *paranoid) sampleHit() bool {
+	if pc.sampleEvery <= 1 {
+		return true
+	}
+	pc.evCount++
+	return (pc.evCount-1)%uint64(pc.sampleEvery) == 0
 }
 
 // resetRun clears per-run shadow state. The reference cache and TLB are
@@ -98,6 +126,7 @@ func (pc *paranoid) resetRun() {
 	pc.phaseStart = 0
 	pc.phaseElapsed = nil
 	pc.tx = [trace.NumTxClasses]int64{}
+	pc.evCount = 0
 }
 
 // report records one violation tagged with the processor's identity and
@@ -143,6 +172,11 @@ func fmtPrice(e priceEntry) string {
 // checkAccess shadows one full memory reference: TLB translation plus
 // cache access. tlbMiss and res are what the fast path observed.
 func (pc *paranoid) checkAccess(p *Proc, a Addr, write, tlbMiss bool, res cache.AccessResult) {
+	if pc.cache == nil {
+		// Sampled mode: no reference models to diff against. The sampled
+		// oracles live in checkMiss/checkWriteback.
+		return
+	}
 	pc.noteClock(p)
 	if refMiss := pc.tlb.Access(a); refMiss != tlbMiss {
 		pc.report(p, a, "tlb-miss",
@@ -154,6 +188,9 @@ func (pc *paranoid) checkAccess(p *Proc, a Addr, write, tlbMiss bool, res cache.
 // checkCacheAccess shadows a cache-only access (BulkTransfer's install
 // loop, which models a DMA-style fill and does not translate).
 func (pc *paranoid) checkCacheAccess(p *Proc, a Addr, write bool, res cache.AccessResult) {
+	if pc.cache == nil {
+		return
+	}
 	pc.noteClock(p)
 	pc.compareCache(p, a, write, res)
 }
@@ -179,6 +216,15 @@ func (pc *paranoid) checkMiss(p *Proc, a Addr, write bool, sh Sharing, home int)
 		return
 	}
 	pc.tx[trace.TxClass(sh)]++
+	if pc.sampleEvery > 1 {
+		// Spot-sampling: the per-class transaction count above runs on
+		// every miss (so tx conservation stays exact), but the stateless
+		// oracles below run on every Nth priced event only.
+		if !pc.sampleHit() {
+			return
+		}
+		pc.noteClock(p)
+	}
 	if ref := p.m.as.ReferenceHomeOf(a); ref != home {
 		pc.report(p, a, "page-home",
 			fmt.Sprintf("home=%d", home), fmt.Sprintf("home=%d", ref))
@@ -197,6 +243,12 @@ func (pc *paranoid) checkMiss(p *Proc, a Addr, write bool, sh Sharing, home int)
 // checkWriteback shadows one priced dirty eviction.
 func (pc *paranoid) checkWriteback(p *Proc, a Addr, home int) {
 	pc.tx[trace.TxWriteback]++
+	if pc.sampleEvery > 1 {
+		if !pc.sampleHit() {
+			return
+		}
+		pc.noteClock(p)
+	}
 	if ref := p.m.as.ReferenceHomeOf(a); ref != home {
 		pc.report(p, a, "page-home",
 			fmt.Sprintf("home=%d", home), fmt.Sprintf("home=%d", ref))
@@ -261,6 +313,9 @@ func (pc *paranoid) checkDirectory(p *Proc, a Addr, write bool, sh Sharing, home
 
 // checkInvalidate shadows one cache-line invalidation.
 func (pc *paranoid) checkInvalidate(p *Proc, a Addr, present, dirty bool) {
+	if pc.cache == nil {
+		return
+	}
 	refPresent, refDirty := pc.cache.Invalidate(a)
 	if present != refPresent || dirty != refDirty {
 		pc.report(p, a, "cache-invalidate",
@@ -272,6 +327,9 @@ func (pc *paranoid) checkInvalidate(p *Proc, a Addr, present, dirty bool) {
 // checkFlush shadows a full cache+TLB flush (ResetMemory). dirty is the
 // fast cache's dropped-dirty-line count.
 func (pc *paranoid) checkFlush(p *Proc, dirty int) {
+	if pc.cache == nil {
+		return
+	}
 	if ref := pc.cache.Flush(); ref != dirty {
 		pc.report(p, 0, "cache-flush",
 			fmt.Sprintf("dirty=%d", dirty), fmt.Sprintf("dirty=%d", ref))
@@ -332,7 +390,13 @@ func (pc *paranoid) finishRun(p *Proc, ps ProcStats) {
 		}
 	}
 
-	// Event-count conservation between the fast and reference models.
+	// Event-count conservation between the fast and reference models
+	// (full mode only; sampled mode has no shadow models to conserve
+	// against).
+	if pc.cache == nil {
+		pc.finishTx(p, ps)
+		return
+	}
 	cs := p.cache.Stats()
 	rc := pc.cache.Counts()
 	if cs.Accesses != rc.Accesses || cs.Misses != rc.Misses || cs.Writebacks != rc.Writebacks {
@@ -348,9 +412,15 @@ func (pc *paranoid) finishRun(p *Proc, ps ProcStats) {
 			fmt.Sprintf("accesses=%d misses=%d", rt.Accesses, rt.Misses))
 	}
 
-	// Traffic conservation: the shadow's per-class transaction counts
-	// must sum to the stats counter, and match the trace's counters
-	// class by class when tracing is on.
+	pc.finishTx(p, ps)
+}
+
+// finishTx checks traffic conservation: the shadow's per-class
+// transaction counts must sum to the stats counter, and match the
+// trace's counters class by class when tracing is on. It runs in both
+// full and sampled mode — the per-class counts are maintained on every
+// miss regardless of sampling.
+func (pc *paranoid) finishTx(p *Proc, ps ProcStats) {
 	var sum int64
 	for _, v := range pc.tx {
 		sum += v

@@ -77,6 +77,15 @@ type Proc struct {
 	// branch per site and zero allocations (enforced by
 	// TestParanoidDisabledZeroAlloc).
 	pc *paranoid
+
+	// Stream-kernel scratch (stream.go): private cache/TLB lanes for the
+	// kernels' source and table streams, plus a growable per-bucket lane
+	// set for scatter targets. Persistent on the Proc so steady-state
+	// kernel calls are allocation-free (TestStreamKernelsZeroAlloc).
+	sTLB   [2]cache.TLBLane
+	sLane  [2]cache.Lane
+	bLanes []cache.Lane
+	tLanes []cache.Lane
 }
 
 func newProc(m *Machine, id int) *Proc {

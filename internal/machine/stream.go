@@ -1,0 +1,460 @@
+package machine
+
+import "repro/internal/cache"
+
+// This file is the batched access-stream engine (DESIGN.md §13): kernels
+// that charge an entire inner loop — a sequential source sweep, a
+// per-element gather/scatter target, and the interleaved Compute cost —
+// in one call instead of three wrapper calls per element. The kernels
+// hoist everything the per-element path re-derives each iteration (cfg
+// fields, phase accumulator, tracer and paranoid nil checks) and give
+// each access stream a private cache/TLB lane (cache.Lane, cache.TLBLane)
+// so a stream's same-line and same-page runs resolve in one inlined
+// compare — the LaneHit fast path — instead of fighting the other
+// streams for the shared memo entries.
+//
+// Equivalence contract: every kernel charges exactly what the equivalent
+// per-element wrapper loop charges — same counters, same replacement
+// decisions, same float addition order — so simulated results are
+// bit-identical whichever API a sort uses (TestStreamEquivalence,
+// FuzzAccessOracle). Under full paranoid mode the kernels route every
+// access through the fully hooked per-access path instead, exactly like
+// walkBlock, which turns any `-paranoid` run into a whole-run
+// differential test of the kernels; spot-sampled paranoid mode
+// (Config.ParanoidSampleEvery > 1) keeps the fast path, whose misses
+// still flow through the hooked missCharge.
+
+// grownLanes returns a reset lane scratch of b lanes backed by *store.
+// The backing array is retained across calls, so steady-state kernels
+// allocate nothing. Kernels use one scratch per per-bucket stream (the
+// histogram gather, the scatter target): indexing lanes by bucket turns
+// an access pattern that defeats any single memo — consecutive elements
+// land in different buckets — back into per-bucket same-line runs that
+// resolve on the inlined LaneHit path.
+func grownLanes(store *[]cache.Lane, b int) []cache.Lane {
+	ls := *store
+	if cap(ls) < b {
+		ls = make([]cache.Lane, b)
+		*store = ls
+	}
+	ls = ls[:b]
+	for i := range ls {
+		ls[i].Reset()
+	}
+	return ls
+}
+
+// LoadStream charges a sequential read sweep of n elemSize-byte elements
+// starting at a, with opsPerElem busy operations interleaved after each
+// element — equivalent to `for each element { LoadSeq; Compute }`.
+func (p *Proc) LoadStream(a Addr, elemSize, n int, sh Sharing, opsPerElem int) {
+	p.seqStream(a, elemSize, n, false, sh, opsPerElem)
+}
+
+// StoreStream charges a sequential write sweep of n elements starting at
+// a, with opsPerElem busy operations per element.
+func (p *Proc) StoreStream(a Addr, elemSize, n int, sh Sharing, opsPerElem int) {
+	p.seqStream(a, elemSize, n, true, sh, opsPerElem)
+}
+
+func (p *Proc) seqStream(a Addr, elemSize, n int, write bool, sh Sharing, ops int) {
+	if n <= 0 {
+		return
+	}
+	cfg := &p.m.cfg
+	opNs := float64(ops) * cfg.OpNs
+	es := Addr(elemSize)
+	if p.pc != nil && p.pc.perAccess() {
+		for i := 0; i < n; i++ {
+			p.access(a, write, sh, cfg.MissOverlap)
+			p.ComputeNs(opNs)
+			a += es
+		}
+		return
+	}
+	t, c := p.tlb, p.cache
+	tl, cl := &p.sTLB[0], &p.sLane[0]
+	t.AttachLane(tl)
+	cl.Reset()
+	ov, tlbNs := cfg.MissOverlap, cfg.TLBMissNs
+	acc := p.phaseAcc
+	for i := 0; i < n; i++ {
+		if !t.LaneHit(tl, a) {
+			if t.LaneRefill(tl, a) {
+				p.chargeLocal(tlbNs)
+			}
+		}
+		if !c.LaneHit(cl, a, write) {
+			res := c.AccessLaneMiss(cl, a, write)
+			if res.WriteBack {
+				p.chargeWriteback(res.WritebackAddr)
+			}
+			if !res.Hit {
+				p.missCharge(a, write, sh, ov)
+			}
+		}
+		p.clock += opNs
+		p.stats.Breakdown.Busy += opNs
+		if acc != nil {
+			acc.Busy += opNs
+		}
+		a += es
+	}
+	t.DetachLanes()
+}
+
+// GatherStream charges n dependent reads of elements base+idx[i] —
+// equivalent to `for each i { Load(idx[i]); Compute }`. Gathered reads
+// are dependent accesses, so misses do not overlap.
+func (p *Proc) GatherStream(base Addr, elemSize int, idx []int64, sh Sharing, opsPerElem int) {
+	p.idxStream(base, elemSize, idx, false, 1, sh, opsPerElem)
+}
+
+// ScatterStream charges len(idx) writes of elements base+idx[i] —
+// equivalent to `for each i { Store(idx[i]); Compute }`. Stores post
+// through the write buffer, so scattered write misses overlap like
+// streams (see Proc.Store).
+func (p *Proc) ScatterStream(base Addr, elemSize int, idx []int64, sh Sharing, opsPerElem int) {
+	p.idxStream(base, elemSize, idx, true, p.m.cfg.MissOverlap, sh, opsPerElem)
+}
+
+func (p *Proc) idxStream(base Addr, elemSize int, idx []int64, write bool, overlap float64, sh Sharing, ops int) {
+	if len(idx) == 0 {
+		return
+	}
+	cfg := &p.m.cfg
+	opNs := float64(ops) * cfg.OpNs
+	if p.pc != nil && p.pc.perAccess() {
+		for _, ix := range idx {
+			p.access(base+Addr(int(ix)*elemSize), write, sh, overlap)
+			p.ComputeNs(opNs)
+		}
+		return
+	}
+	t, c := p.tlb, p.cache
+	tl, cl := &p.sTLB[0], &p.sLane[0]
+	t.AttachLane(tl)
+	cl.Reset()
+	tlbNs := cfg.TLBMissNs
+	acc := p.phaseAcc
+	for _, ix := range idx {
+		a := base + Addr(int(ix)*elemSize)
+		if !t.LaneHit(tl, a) {
+			if t.LaneRefill(tl, a) {
+				p.chargeLocal(tlbNs)
+			}
+		}
+		if !c.LaneHit(cl, a, write) {
+			res := c.AccessLaneMiss(cl, a, write)
+			if res.WriteBack {
+				p.chargeWriteback(res.WritebackAddr)
+			}
+			if !res.Hit {
+				p.missCharge(a, write, sh, overlap)
+			}
+		}
+		p.clock += opNs
+		p.stats.Breakdown.Busy += opNs
+		if acc != nil {
+			acc.Busy += opNs
+		}
+	}
+	t.DetachLanes()
+}
+
+// CountStream charges a radix counting pass over src.Data[lo:lo+n]: per
+// element, one sequential key read (srcSh), the digit extraction
+// (key>>shift)&mask, one dependent read of tbl[digit] (tblSh), the
+// histogram increment tbl.Data[digit]++, and opsPerElem busy operations.
+// It is the batched equivalent of sorts' countPass inner loop.
+func (p *Proc) CountStream(src *Array[uint32], lo, n int, srcSh Sharing,
+	shift uint, mask uint32, tbl *Array[int32], tblSh Sharing, opsPerElem int) {
+	if n <= 0 {
+		return
+	}
+	cfg := &p.m.cfg
+	opNs := float64(opsPerElem) * cfg.OpNs
+	sd := src.Data[lo : lo+n]
+	td := tbl.Data
+	srcA := src.base + Addr(lo*src.elemSize)
+	srcES := Addr(src.elemSize)
+	tblBase, tblES := tbl.base, tbl.elemSize
+	if p.pc != nil && p.pc.perAccess() {
+		ov := cfg.MissOverlap
+		for i := range sd {
+			p.access(srcA, false, srcSh, ov)
+			d := int(sd[i] >> shift & mask)
+			p.access(tblBase+Addr(d*tblES), false, tblSh, 1)
+			td[d]++
+			p.ComputeNs(opNs)
+			srcA += srcES
+		}
+		return
+	}
+	t, c := p.tlb, p.cache
+	sT, tT := &p.sTLB[0], &p.sTLB[1]
+	sL := &p.sLane[0]
+	t.AttachLane(sT)
+	t.AttachLane(tT)
+	sL.Reset()
+	// The histogram is indexed by a near-random digit, which defeats any
+	// single memo; one lane per bucket pins each bucket's (shared) line so
+	// steady-state table reads resolve on the inlined hit path.
+	tl := grownLanes(&p.tLanes, int(mask)+1)
+	ov, tlbNs := cfg.MissOverlap, cfg.TLBMissNs
+	acc := p.phaseAcc
+	for i := range sd {
+		if !t.LaneHit(sT, srcA) {
+			if t.LaneRefill(sT, srcA) {
+				p.chargeLocal(tlbNs)
+			}
+		}
+		if !c.LaneHit(sL, srcA, false) {
+			res := c.AccessLaneMiss(sL, srcA, false)
+			if res.WriteBack {
+				p.chargeWriteback(res.WritebackAddr)
+			}
+			if !res.Hit {
+				p.missCharge(srcA, false, srcSh, ov)
+			}
+		}
+		d := int(sd[i] >> shift & mask)
+		ta := tblBase + Addr(d*tblES)
+		if !t.LaneHit(tT, ta) {
+			if t.LaneRefill(tT, ta) {
+				p.chargeLocal(tlbNs)
+			}
+		}
+		if !c.LaneHit(&tl[d], ta, false) {
+			res := c.AccessLaneMiss(&tl[d], ta, false)
+			if res.WriteBack {
+				p.chargeWriteback(res.WritebackAddr)
+			}
+			if !res.Hit {
+				p.missCharge(ta, false, tblSh, 1)
+			}
+		}
+		td[d]++
+		p.clock += opNs
+		p.stats.Breakdown.Busy += opNs
+		if acc != nil {
+			acc.Busy += opNs
+		}
+		srcA += srcES
+	}
+	t.DetachLanes()
+}
+
+// PermuteStream charges a radix permutation pass: per element, one
+// sequential key read from src (srcSh), the digit extraction, one
+// dependent read of tbl[digit] (tblSh, the position-counter access), the
+// position bump pos[digit]++, the key's scattered write to
+// dst[pos] (dstSh), and opsPerElem busy operations. It is the batched
+// equivalent of sorts' permutePass inner loop.
+//
+// The scatter target gets one cache lane per digit bucket: each bucket's
+// writes walk its output run sequentially, so per-bucket lanes turn the
+// scatter — which defeats both the shared memo and a single lane — back
+// into mask+1 independent same-line runs. The TLB keeps its shared
+// memo path for the scatter stream; per-bucket TLB lanes would make
+// every TLB eviction scan mask+1 registry entries.
+func (p *Proc) PermuteStream(src, dst *Array[uint32], lo, n int,
+	shift uint, mask uint32, tbl *Array[int32], pos []int64,
+	srcSh, tblSh, dstSh Sharing, opsPerElem int) {
+	if n <= 0 {
+		return
+	}
+	cfg := &p.m.cfg
+	opNs := float64(opsPerElem) * cfg.OpNs
+	sd := src.Data[lo : lo+n]
+	dd := dst.Data
+	srcA := src.base + Addr(lo*src.elemSize)
+	srcES := Addr(src.elemSize)
+	tblBase, tblES := tbl.base, tbl.elemSize
+	dstBase, dstES := dst.base, dst.elemSize
+	ov := cfg.MissOverlap
+	if p.pc != nil && p.pc.perAccess() {
+		for i := range sd {
+			p.access(srcA, false, srcSh, ov)
+			k := sd[i]
+			d := int(k >> shift & mask)
+			p.access(tblBase+Addr(d*tblES), false, tblSh, 1)
+			at := pos[d]
+			pos[d]++
+			dd[at] = k
+			p.access(dstBase+Addr(int(at)*dstES), true, dstSh, ov)
+			p.ComputeNs(opNs)
+			srcA += srcES
+		}
+		return
+	}
+	t, c := p.tlb, p.cache
+	sT, tT := &p.sTLB[0], &p.sTLB[1]
+	sL := &p.sLane[0]
+	t.AttachLane(sT)
+	t.AttachLane(tT)
+	sL.Reset()
+	tl := grownLanes(&p.tLanes, int(mask)+1)
+	bl := grownLanes(&p.bLanes, int(mask)+1)
+	tlbNs := cfg.TLBMissNs
+	acc := p.phaseAcc
+	for i := range sd {
+		if !t.LaneHit(sT, srcA) {
+			if t.LaneRefill(sT, srcA) {
+				p.chargeLocal(tlbNs)
+			}
+		}
+		if !c.LaneHit(sL, srcA, false) {
+			res := c.AccessLaneMiss(sL, srcA, false)
+			if res.WriteBack {
+				p.chargeWriteback(res.WritebackAddr)
+			}
+			if !res.Hit {
+				p.missCharge(srcA, false, srcSh, ov)
+			}
+		}
+		k := sd[i]
+		d := int(k >> shift & mask)
+		ta := tblBase + Addr(d*tblES)
+		if !t.LaneHit(tT, ta) {
+			if t.LaneRefill(tT, ta) {
+				p.chargeLocal(tlbNs)
+			}
+		}
+		if !c.LaneHit(&tl[d], ta, false) {
+			res := c.AccessLaneMiss(&tl[d], ta, false)
+			if res.WriteBack {
+				p.chargeWriteback(res.WritebackAddr)
+			}
+			if !res.Hit {
+				p.missCharge(ta, false, tblSh, 1)
+			}
+		}
+		at := pos[d]
+		pos[d]++
+		dd[at] = k
+		da := dstBase + Addr(int(at)*dstES)
+		if t.Access(da) {
+			p.chargeLocal(tlbNs)
+		}
+		if !c.LaneHit(&bl[d], da, true) {
+			res := c.AccessLaneMiss(&bl[d], da, true)
+			if res.WriteBack {
+				p.chargeWriteback(res.WritebackAddr)
+			}
+			if !res.Hit {
+				p.missCharge(da, true, dstSh, ov)
+			}
+		}
+		p.clock += opNs
+		p.stats.Breakdown.Busy += opNs
+		if acc != nil {
+			acc.Busy += opNs
+		}
+		srcA += srcES
+	}
+	t.DetachLanes()
+}
+
+// A SeqCursor charges the accesses of one sequential stream whose
+// elements are consumed on demand rather than in a closed loop — the
+// multiway merge's run heads and output head. Each cursor carries its
+// own cache and TLB lane, so several concurrently open cursors (one per
+// merge run) do not evict each other's memo state. Open with
+// Array.OpenCursor; close every cursor of a batch at once with
+// Proc.CloseCursors. The cursor must not be copied while open (its TLB
+// lane is registered by address).
+type SeqCursor struct {
+	p        *Proc
+	base     Addr
+	elemSize int
+	sh       Sharing
+	write    bool
+	overlap  float64
+	// slow routes every access through the fully hooked per-access path
+	// (full paranoid mode), mirroring the kernels' fallback.
+	slow bool
+	lane cache.Lane
+	tlb  cache.TLBLane
+}
+
+// OpenCursor binds cur to this array's address range as a sequential
+// stream of reads (write=false) or writes. Accesses charge like
+// LoadSeq/StoreSeq.
+func (a *Array[T]) OpenCursor(cur *SeqCursor, p *Proc, write bool, sh Sharing) {
+	cur.p = p
+	cur.base = a.base
+	cur.elemSize = a.elemSize
+	cur.sh = sh
+	cur.write = write
+	cur.overlap = p.m.cfg.MissOverlap
+	cur.slow = p.pc != nil && p.pc.perAccess()
+	if !cur.slow {
+		cur.lane.Reset()
+		p.tlb.AttachLane(&cur.tlb)
+	}
+}
+
+// Access charges one access of element i through the cursor's lanes.
+func (cur *SeqCursor) Access(i int) {
+	p := cur.p
+	a := cur.base + Addr(i*cur.elemSize)
+	if cur.slow {
+		p.access(a, cur.write, cur.sh, cur.overlap)
+		return
+	}
+	t, c := p.tlb, p.cache
+	if !t.LaneHit(&cur.tlb, a) {
+		if t.LaneRefill(&cur.tlb, a) {
+			p.chargeLocal(p.m.cfg.TLBMissNs)
+		}
+	}
+	if !c.LaneHit(&cur.lane, a, cur.write) {
+		res := c.AccessLaneMiss(&cur.lane, a, cur.write)
+		if res.WriteBack {
+			p.chargeWriteback(res.WritebackAddr)
+		}
+		if !res.Hit {
+			p.missCharge(a, cur.write, cur.sh, cur.overlap)
+		}
+	}
+}
+
+// CloseCursors detaches the TLB lanes of every cursor opened on this
+// processor since the last close. Cursor batches must be strictly
+// bracketed (open all, use, close all) and must not overlap stream
+// kernel calls, which bracket their own lanes.
+func (p *Proc) CloseCursors() { p.tlb.DetachLanes() }
+
+// LoadRangeWith charges a sequential read of elements [lo, hi) with
+// opsPerElem busy operations interleaved per element — the batched
+// equivalent of `for i := lo; i < hi; i++ { LoadSeq(i); Compute }`.
+// Unlike LoadRange, which touches each cache line once (a block
+// transfer), this charges one access per element.
+func (a *Array[T]) LoadRangeWith(p *Proc, lo, hi int, sh Sharing, opsPerElem int) {
+	if hi <= lo {
+		return
+	}
+	p.LoadStream(a.Addr(lo), a.elemSize, hi-lo, sh, opsPerElem)
+}
+
+// StoreRangeWith charges a sequential write of elements [lo, hi) with
+// opsPerElem busy operations per element.
+func (a *Array[T]) StoreRangeWith(p *Proc, lo, hi int, sh Sharing, opsPerElem int) {
+	if hi <= lo {
+		return
+	}
+	p.StoreStream(a.Addr(lo), a.elemSize, hi-lo, sh, opsPerElem)
+}
+
+// GatherLoad charges dependent reads of elements idx[0..] with
+// opsPerElem busy operations per element.
+func (a *Array[T]) GatherLoad(p *Proc, idx []int64, sh Sharing, opsPerElem int) {
+	p.GatherStream(a.base, a.elemSize, idx, sh, opsPerElem)
+}
+
+// ScatterStore charges scattered writes of elements idx[0..] with
+// opsPerElem busy operations per element.
+func (a *Array[T]) ScatterStore(p *Proc, idx []int64, sh Sharing, opsPerElem int) {
+	p.ScatterStream(a.base, a.elemSize, idx, sh, opsPerElem)
+}

@@ -1,0 +1,308 @@
+package machine
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"unsafe"
+)
+
+// streamTestState bundles one machine plus the arrays the equivalence
+// workload runs over, so the stream side and the per-element side
+// operate on structurally identical worlds.
+type streamTestState struct {
+	m    *Machine
+	p    *Proc
+	keys *Array[uint32]
+	dst  *Array[uint32]
+	hist *Array[int32]
+}
+
+func newStreamTestState(t *testing.T) *streamTestState {
+	t.Helper()
+	m := testMachine(t, 2)
+	s := &streamTestState{
+		m:    m,
+		keys: NewArrayBlocked[uint32](m, "keys", 1<<13),
+		dst:  NewArrayBlocked[uint32](m, "dst", 1<<13),
+		hist: NewArrayOnProc[int32](m, "hist", 256, 0),
+	}
+	s.p = m.Proc(0)
+	s.p.resetClock()
+	rng := rand.New(rand.NewSource(7))
+	for i := range s.keys.Data {
+		s.keys.Data[i] = rng.Uint32()
+	}
+	return s
+}
+
+// check asserts both worlds are bit-identical: virtual clock, full
+// ProcStats (time breakdown, phase accumulators, traffic, counter
+// snapshot), and the raw cache/TLB counters.
+func (s *streamTestState) check(t *testing.T, ref *streamTestState, step string) {
+	t.Helper()
+	if s.p.clock != ref.p.clock {
+		t.Fatalf("%s: clock stream=%v ref=%v", step, s.p.clock, ref.p.clock)
+	}
+	if a, b := s.p.snapshot(), ref.p.snapshot(); !reflect.DeepEqual(a, b) {
+		t.Fatalf("%s: stats diverge\nstream: %+v\nref:    %+v", step, a, b)
+	}
+	if a, b := s.p.cache.Stats(), ref.p.cache.Stats(); a != b {
+		t.Fatalf("%s: cache counters stream=%+v ref=%+v", step, a, b)
+	}
+	if a, b := s.p.tlb.Stats(), ref.p.tlb.Stats(); a != b {
+		t.Fatalf("%s: TLB counters stream=%+v ref=%+v", step, a, b)
+	}
+	if !reflect.DeepEqual(s.dst.Data, ref.dst.Data) ||
+		!reflect.DeepEqual(s.hist.Data, ref.hist.Data) {
+		t.Fatalf("%s: data results diverge", step)
+	}
+}
+
+// TestStreamEquivalence drives random workloads through the batched
+// stream kernels on one machine and through the equivalent per-element
+// wrapper loops on an identical second machine, asserting bit-identical
+// simulated state after every step: same clock (float addition order
+// included), same breakdowns, same cache/TLB replacement decisions and
+// counters. This is the equivalence contract of DESIGN.md §13 checked
+// end to end on live machines; FuzzAccessOracle covers the lane
+// primitives underneath against the reference models.
+func TestStreamEquivalence(t *testing.T) {
+	sv := newStreamTestState(t) // stream side
+	rv := newStreamTestState(t) // per-element side
+	rng := rand.New(rand.NewSource(99))
+	n := sv.keys.Len()
+
+	idx := make([]int64, 512)
+	pos := make([]int64, 256)
+	for round := 0; round < 20; round++ {
+		lo := rng.Intn(n - 600)
+		cnt := 1 + rng.Intn(500)
+		ops := rng.Intn(9)
+		shift := uint(rng.Intn(3) * 8)
+
+		switch round % 6 {
+		case 0: // sequential load sweep
+			sv.p.LoadStream(sv.keys.Addr(lo), 4, cnt, SharedRead, ops)
+			for i := 0; i < cnt; i++ {
+				rv.p.LoadSeq(rv.keys.Addr(lo+i), SharedRead)
+				rv.p.Compute(ops)
+			}
+		case 1: // sequential store sweep
+			sv.dst.StoreRangeWith(sv.p, lo, lo+cnt, Private, ops)
+			for i := lo; i < lo+cnt; i++ {
+				rv.p.StoreSeq(rv.dst.Addr(i), Private)
+				rv.p.Compute(ops)
+			}
+		case 2: // gather + scatter over random indices
+			for i := range idx {
+				idx[i] = int64(rng.Intn(n))
+			}
+			sv.keys.GatherLoad(sv.p, idx, SharedRead, ops)
+			sv.dst.ScatterStore(sv.p, idx, ConflictWrite, ops)
+			for _, ix := range idx {
+				rv.p.Load(rv.keys.Addr(int(ix)), SharedRead)
+				rv.p.Compute(ops)
+			}
+			for _, ix := range idx {
+				rv.p.Store(rv.dst.Addr(int(ix)), ConflictWrite)
+				rv.p.Compute(ops)
+			}
+		case 3: // radix counting pass
+			clear(sv.hist.Data)
+			clear(rv.hist.Data)
+			sv.p.CountStream(sv.keys, lo, cnt, SharedRead, shift, 255,
+				sv.hist, Private, ops)
+			for i := lo; i < lo+cnt; i++ {
+				rv.p.LoadSeq(rv.keys.Addr(i), SharedRead)
+				d := int(rv.keys.Data[i] >> shift & 255)
+				rv.p.Load(rv.hist.Addr(d), Private)
+				rv.hist.Data[d]++
+				rv.p.Compute(ops)
+			}
+		case 4: // radix permutation pass (positions spread over dst)
+			for i := range pos {
+				pos[i] = int64((i * 32) % n)
+			}
+			sPos := append([]int64(nil), pos...)
+			rPos := append([]int64(nil), pos...)
+			sv.p.PermuteStream(sv.keys, sv.dst, lo, min(cnt, 256*8),
+				shift, 255, sv.hist, sPos, SharedRead, Private, ConflictWrite, ops)
+			for i := lo; i < lo+min(cnt, 256*8); i++ {
+				rv.p.LoadSeq(rv.keys.Addr(i), SharedRead)
+				k := rv.keys.Data[i]
+				d := int(k >> shift & 255)
+				rv.p.Load(rv.hist.Addr(d), Private)
+				at := rPos[d]
+				rPos[d]++
+				rv.dst.Data[at] = k
+				rv.p.Store(rv.dst.Addr(int(at)), ConflictWrite)
+				rv.p.Compute(ops)
+			}
+			if !reflect.DeepEqual(sPos, rPos) {
+				t.Fatal("permute position tables diverge")
+			}
+		case 5: // interleaved cursors (the multiway-merge shape)
+			var sr, sw SeqCursor
+			sv.keys.OpenCursor(&sr, sv.p, false, SharedRead)
+			sv.dst.OpenCursor(&sw, sv.p, true, Private)
+			for i := 0; i < cnt; i++ {
+				sr.Access(lo + i)
+				sw.Access(lo + cnt - 1 - i)
+			}
+			sv.p.CloseCursors()
+			for i := 0; i < cnt; i++ {
+				rv.p.LoadSeq(rv.keys.Addr(lo+i), SharedRead)
+				rv.p.StoreSeq(rv.dst.Addr(lo+cnt-1-i), Private)
+			}
+		}
+		// A few plain accesses between kernels churn the shared memos, so
+		// later rounds start from a memo state the kernels did not set up.
+		for i := 0; i < 8; i++ {
+			rnd := rng.Intn(n)
+			sv.p.Load(sv.keys.Addr(rnd), SharedRead)
+			rv.p.Load(rv.keys.Addr(rnd), SharedRead)
+		}
+		sv.check(t, rv, "round")
+	}
+}
+
+// TestStreamKernelsZeroAlloc pins the O(1)-allocation contract of the
+// stream engine: once a processor's lane scratch has grown to the radix
+// width (the warm-up run AllocsPerRun performs), every kernel call and
+// cursor access allocates nothing. This is the CI allocation-regression
+// guard for the hot simulation paths.
+func TestStreamKernelsZeroAlloc(t *testing.T) {
+	m := testMachine(t, 2)
+	keys := NewArrayBlocked[uint32](m, "keys", 1<<14)
+	dst := NewArrayBlocked[uint32](m, "dst", 1<<14)
+	hist := NewArrayOnProc[int32](m, "hist", 256, 0)
+	p := m.Proc(0)
+	p.resetClock()
+	idx := []int64{3, 99, 7, 4000, 7, 8, 9000, 2}
+	pos := make([]int64, 256)
+	// The cursor lives outside the loop: AttachLane registers its TLB
+	// lane by address, so a cursor declared inside would escape and
+	// heap-allocate per call. Real callers (the multiway merge) hold
+	// their cursors in a slice allocated once per merge.
+	var cur SeqCursor
+	allocs := testing.AllocsPerRun(50, func() {
+		p.LoadStream(keys.Addr(0), 4, 512, SharedRead, 2)
+		p.StoreStream(dst.Addr(0), 4, 512, Private, 1)
+		keys.GatherLoad(p, idx, SharedRead, 1)
+		dst.ScatterStore(p, idx, ConflictWrite, 1)
+		p.CountStream(keys, 0, 512, SharedRead, 0, 255, hist, Private, 8)
+		for i := range pos {
+			pos[i] = int64(i * 16)
+		}
+		p.PermuteStream(keys, dst, 0, 512, 0, 255, hist, pos,
+			SharedRead, Private, ConflictWrite, 13)
+		keys.OpenCursor(&cur, p, false, SharedRead)
+		for i := 0; i < 64; i++ {
+			cur.Access(i)
+		}
+		p.CloseCursors()
+	})
+	if allocs != 0 {
+		t.Errorf("stream kernels allocate %.1f/op in steady state, want 0", allocs)
+	}
+}
+
+// TestArenaReuse proves Release recycles array backing memory: after a
+// machine releases its slabs, a second machine allocating the same
+// array footprint gets the same backing slab back from the pool (LIFO),
+// and its contents arrive zeroed despite the first machine's writes.
+func TestArenaReuse(t *testing.T) {
+	m1 := testMachine(t, 2)
+	a1 := NewArrayBlocked[uint32](m1, "k", 1<<12)
+	for i := range a1.Data {
+		a1.Data[i] = 0xDEADBEEF
+	}
+	p1 := unsafe.Pointer(&a1.Data[0])
+	m1.Release()
+
+	m2 := testMachine(t, 2)
+	a2 := NewArrayBlocked[uint32](m2, "k", 1<<12)
+	if unsafe.Pointer(&a2.Data[0]) != p1 {
+		t.Error("released slab was not reused for an identical allocation")
+	}
+	for i, v := range a2.Data {
+		if v != 0 {
+			t.Fatalf("reused slab not zeroed at %d: %#x", i, v)
+		}
+	}
+	m2.Release()
+}
+
+// TestGrowAmortized asserts Grow's capacity doubling: growing an array
+// one element at a time reallocates O(log n) times, not O(n) times, and
+// in-capacity growth neither moves the backing array nor loses data.
+func TestGrowAmortized(t *testing.T) {
+	m := testMachine(t, 2)
+	a := NewArrayReserve[uint32](m, "r", 1<<16, 0)
+	reallocs := 0
+	var last *uint32
+	for n := 1; n <= 1<<14; n++ {
+		a.Grow(n)
+		a.Data[n-1] = uint32(n)
+		if &a.Data[0] != last {
+			reallocs++
+			last = &a.Data[0]
+		}
+	}
+	if reallocs > 16 {
+		t.Errorf("growing to 2^14 one element at a time reallocated %d times, want O(log n)", reallocs)
+	}
+	for n := 1; n <= 1<<14; n++ {
+		if a.Data[n-1] != uint32(n) {
+			t.Fatalf("Grow lost element %d", n-1)
+		}
+	}
+}
+
+// Scatter-stream micro-benchmarks: the cache-hit regime (a footprint
+// the cache holds), the miss regime (every access a fresh line), and
+// the run-coalesced regime (sorted indices, so per-bucket lanes see
+// same-line runs). ns/op is per scattered element.
+func benchScatter(b *testing.B, idx []int64) {
+	m, err := New(Origin2000Scaled(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	arr := NewArrayBlocked[uint32](m, "dst", 1<<22)
+	b.ResetTimer()
+	m.Run(func(p *Proc) {
+		if p.ID != 0 {
+			return
+		}
+		for i := 0; i < b.N; i += len(idx) {
+			arr.ScatterStore(p, idx, ConflictWrite, 1)
+		}
+	})
+}
+
+func BenchmarkScatterStreamHit(b *testing.B) {
+	idx := make([]int64, 4096)
+	rng := rand.New(rand.NewSource(1))
+	for i := range idx {
+		idx[i] = int64(rng.Intn(4096)) // 16 KB footprint, cache-resident
+	}
+	benchScatter(b, idx)
+}
+
+func BenchmarkScatterStreamMiss(b *testing.B) {
+	idx := make([]int64, 4096)
+	rng := rand.New(rand.NewSource(2))
+	for i := range idx {
+		idx[i] = int64(rng.Intn(1 << 22)) // 16 MB footprint, always missing
+	}
+	benchScatter(b, idx)
+}
+
+func BenchmarkScatterStreamCoalesced(b *testing.B) {
+	idx := make([]int64, 4096)
+	for i := range idx {
+		idx[i] = int64(1<<20 + i) // sequential: 16-element same-line runs
+	}
+	benchScatter(b, idx)
+}

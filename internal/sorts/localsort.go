@@ -31,13 +31,12 @@ func countPass(p *machine.Proc, arr *machine.Array[uint32], lo, n int,
 	}
 	hist.StoreRange(p, 0, b, machine.Private)
 	p.Compute(b)
-	for i := lo; i < lo+n; i++ {
-		arr.LoadSeq(p, i, firstClass)
-		d := digit(arr.Data[i], pass, cfg.Radix)
-		hist.Load(p, d, machine.Private)
-		hist.Data[d]++
-		p.Compute(8) // shift, mask, load/add/store counter, loop control
-	}
+	// One kernel call charges the whole counting loop: per key, the
+	// sequential key read, the digit extraction, the histogram access and
+	// increment, and 8 ops (shift, mask, load/add/store counter, loop
+	// control). Bit-identical to the per-element loop it replaced.
+	p.CountStream(arr, lo, n, firstClass,
+		uint(pass*cfg.Radix), uint32(b-1), hist, machine.Private, 8)
 	out := make([]int32, b)
 	copy(out, hist.Data)
 	return out
@@ -50,16 +49,13 @@ func countPass(p *machine.Proc, arr *machine.Array[uint32], lo, n int,
 func permutePass(p *machine.Proc, arr, dst *machine.Array[uint32], lo, n int,
 	pass int, cfg Config, sc *localScratch, pos []int64,
 	srcClass, dstClass machine.Sharing) {
-	for i := lo; i < lo+n; i++ {
-		arr.LoadSeq(p, i, srcClass)
-		k := arr.Data[i]
-		d := digit(k, pass, cfg.Radix)
-		sc.hist.Load(p, d, machine.Private) // position counter access
-		at := pos[d]
-		pos[d]++
-		dst.Store(p, int(at), k, dstClass)
-		p.Compute(13) // shift/mask, position load/bump/store, addressing, loop
-	}
+	// One kernel call charges the whole permutation loop: per key, the
+	// sequential read, the digit extraction, the position-counter access
+	// and bump, the scattered destination write, and 13 ops (shift/mask,
+	// position load/bump/store, addressing, loop control).
+	p.PermuteStream(arr, dst, lo, n,
+		uint(pass*cfg.Radix), uint32(cfg.Buckets()-1), sc.hist, pos,
+		srcClass, machine.Private, dstClass, 13)
 }
 
 // exclusiveScan turns counts into exclusive prefix positions starting at

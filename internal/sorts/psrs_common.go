@@ -140,11 +140,24 @@ func multiwayMergeCharged(p *machine.Proc, recv, out *machine.Array[uint32], sta
 			i = s
 		}
 	}
+	// Each run head advances sequentially through its own region of recv,
+	// so every run gets its own stream cursor (private cache/TLB lanes):
+	// the P interleaved streams stop evicting each other's memo state,
+	// and each access charges exactly what the LoadSeq/StoreSeq wrappers
+	// charged before. readers must not be appended to while open — the
+	// cursors' TLB lanes are registered by address.
+	readers := make([]machine.SeqCursor, len(starts))
+	for q := range starts {
+		recv.OpenCursor(&readers[q], p, false, machine.Private)
+	}
+	var writer machine.SeqCursor
+	out.OpenCursor(&writer, p, true, machine.Private)
 	for q := range starts {
 		if counts[q] == 0 {
 			continue
 		}
-		k := recv.LoadSeq(p, starts[q], machine.Private)
+		readers[q].Access(starts[q])
+		k := recv.Data[starts[q]]
 		hp = append(hp, head{key: k, src: q, at: starts[q] + 1, end: starts[q] + counts[q]})
 		siftUp(len(hp) - 1)
 	}
@@ -152,17 +165,19 @@ func multiwayMergeCharged(p *machine.Proc, recv, out *machine.Array[uint32], sta
 	total := 0
 	for len(hp) > 0 {
 		h := hp[0]
-		out.StoreSeq(p, total, h.key, machine.Private)
+		out.Data[total] = h.key
+		writer.Access(total)
 		p.Compute(stepOps)
 		total++
 		if h.at < h.end {
-			k := recv.LoadSeq(p, h.at, machine.Private)
-			hp[0] = head{key: k, src: h.src, at: h.at + 1, end: h.end}
+			readers[h.src].Access(h.at)
+			hp[0] = head{key: recv.Data[h.at], src: h.src, at: h.at + 1, end: h.end}
 		} else {
 			hp[0] = hp[len(hp)-1]
 			hp = hp[:len(hp)-1]
 		}
 		siftDown()
 	}
+	p.CloseCursors()
 	return total
 }

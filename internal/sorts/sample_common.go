@@ -13,13 +13,16 @@ func selectSamples(p *machine.Proc, arr *machine.Array[uint32], lo, n, count int
 		count = n
 	}
 	out := make([]uint32, count)
+	idx := make([]int64, count)
 	for j := 0; j < count; j++ {
 		// Position (j+1)*n/(count+1): interior points, avoiding the ends.
 		i := lo + (j+1)*n/(count+1)
-		arr.Load(p, i, machine.Private)
+		idx[j] = int64(i)
 		out[j] = arr.Data[i]
-		p.Compute(3)
 	}
+	// One gather-stream call charges all sample reads (3 ops each for the
+	// index arithmetic), replacing count per-element Load/Compute pairs.
+	arr.GatherLoad(p, idx, machine.Private, 3)
 	return out
 }
 

@@ -172,6 +172,11 @@ type Experiment struct {
 	// byte-identical to a normal run; the host slows down severalfold,
 	// and Run fails with a structured error if any check is violated.
 	Paranoid bool
+	// ParanoidSampleEvery spot-samples the paranoid checks: 0 or 1 keeps
+	// the full per-access shadow, N > 1 (which implies Paranoid) runs the
+	// stateless oracles on every Nth priced event while keeping the fast
+	// batched kernels. See machine.Config.ParanoidSampleEvery.
+	ParanoidSampleEvery int
 	// Trace records a deterministic virtual-time event trace of the run
 	// (see DESIGN.md §7); the trace is attached to the Outcome.
 	Trace bool
@@ -203,6 +208,7 @@ func MachineConfigFor(e Experiment) machine.Config {
 		cfg.FlatMemory = e.FlatMemory
 		cfg.NoContention = e.NoContention
 		cfg.Paranoid = e.Paranoid
+		cfg.ParanoidSampleEvery = e.ParanoidSampleEvery
 		return cfg
 	}
 	cfg := machine.Origin2000Scaled(e.Procs)
@@ -214,6 +220,7 @@ func MachineConfigFor(e Experiment) machine.Config {
 	cfg.FlatMemory = e.FlatMemory
 	cfg.NoContention = e.NoContention
 	cfg.Paranoid = e.Paranoid
+	cfg.ParanoidSampleEvery = e.ParanoidSampleEvery
 	return cfg
 }
 
@@ -337,6 +344,13 @@ func Run(e Experiment) (*Outcome, error) {
 	if tr := res.Run.Trace; tr != nil {
 		tr.Label = e.Label()
 	}
+	// Return the machine's slab arena to the process-wide pool so the
+	// next grid cell reuses it. Sorted aliases arena memory — detach it
+	// first so the Outcome outlives the release.
+	sorted := make([]uint32, len(res.Sorted))
+	copy(sorted, res.Sorted)
+	res.Sorted = sorted
+	m.Release()
 	return &Outcome{Experiment: e, Result: res, TimeNs: res.TimeNs(), Verified: true}, nil
 }
 
