@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	paperfigs [-exp all|table1|fig1|...|figpsrs|table23|figtopo] [-sizes 1M,4M,16M]
+//	paperfigs [-exp all|table1|fig1|...|figpsrs|table23|figtopo|figskew] [-sizes 1M,4M,16M]
 //	          [-procs 16,32,64] [-seed N] [-j N] [-benchjson] [-v]
 //	          [-paranoid] [-trace out.json] [-cpuprofile out.pprof]
 //
@@ -101,6 +101,7 @@ var runners = []figureRun{
 		}
 		return blocks, nil
 	}, true},
+	{"figskew", relativeRunner((*repro.Harness).FigureSkew), true},
 }
 
 func speedupRunner(fn func(*repro.Harness) (*repro.SpeedupFigure, error)) func(*repro.Harness) ([]string, error) {
@@ -165,7 +166,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("paperfigs", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp       = fs.String("exp", "all", "experiment: all, table1, fig1..fig10, figpsrs, table23, figtopo (figtopo is beyond-paper and excluded from all)")
+		exp       = fs.String("exp", "all", "experiment: all, table1, fig1..fig10, figpsrs, table23, figtopo, figskew (figtopo/figskew are beyond-paper and excluded from all)")
 		sizes     = fs.String("sizes", "", "comma-separated size classes (1M,4M,16M,64M,256M); default all")
 		procs     = fs.String("procs", "", "comma-separated processor counts; default 16,32,64")
 		radixes   = fs.String("radixes", "", "comma-separated radix sweep for fig6/fig10; default 6..12")
@@ -203,7 +204,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("-j must be >= 1, got %d", *par)
 	}
 	if !validExp(*exp) {
-		return fmt.Errorf("unknown experiment %q (want all, table1, fig1..fig10, figpsrs, table23, or figtopo)", *exp)
+		return fmt.Errorf("unknown experiment %q (want all, table1, fig1..fig10, figpsrs, table23, figtopo, or figskew)", *exp)
 	}
 
 	opts := repro.Options{Seed: *seed, Parallelism: *par, Trace: *traceTo != "", Paranoid: *paranoid, ParanoidSampleEvery: *paranoidN}

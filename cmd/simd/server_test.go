@@ -445,3 +445,101 @@ func TestMethodNotAllowed(t *testing.T) {
 		t.Errorf("GET /v1/run: status %d, want 405", resp.StatusCode)
 	}
 }
+
+// TestRunSkewDists: the four skew distributions are accepted
+// end-to-end — simulated, verified, 200 — and every one of them (plus
+// gauss) occupies a distinct cache key, so skew results can never
+// shadow gauss results. An unknown dist stays a 400 (covered above);
+// here the distinct-key half of the contract is pinned.
+func TestRunSkewDists(t *testing.T) {
+	s, ts := newTestServer(t, serverConfig{})
+	keysSeen := map[string]string{}
+	for _, dist := range []string{"gauss", "zipf", "selfsim", "dupheavy", "adversarial"} {
+		req := tinyRun(1)
+		req.Dist = dist
+		resp := postJSON(t, ts.URL+"/v1/run", req)
+		body := readAll(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("dist %s: status %d (body %s)", dist, resp.StatusCode, body)
+		}
+		var doc runResult
+		if err := json.Unmarshal(body, &doc); err != nil {
+			t.Fatal(err)
+		}
+		if !doc.Verified {
+			t.Errorf("dist %s: output not verified", dist)
+		}
+		key := resp.Header.Get("X-Simd-Key")
+		if key == "" {
+			t.Fatalf("dist %s: missing cache key", dist)
+		}
+		if prev, dup := keysSeen[key]; dup {
+			t.Errorf("dist %s shares a cache key with %s: %s", dist, prev, key)
+		}
+		keysSeen[key] = dist
+	}
+	if runs := s.h.Stats().Runs; runs != 5 {
+		t.Errorf("harness ran %d simulations for five distinct dists, want 5", runs)
+	}
+}
+
+// TestGridSkewCells: a /v1/grid batch over the skew distributions runs
+// every cell under a distinct cache key, and a batch containing an
+// unknown dist is rejected whole by the upfront validation (4xx) before
+// anything simulates.
+func TestGridSkewCells(t *testing.T) {
+	s, ts := newTestServer(t, serverConfig{})
+	grid := gridRequest{Cells: []experimentRequest{
+		{Algorithm: "sample", Model: "ccsas", N: 1 << 12, Procs: 4, Dist: "zipf"},
+		{Algorithm: "radix", Model: "shmem", N: 1 << 12, Procs: 4, Dist: "adversarial"},
+		{Algorithm: "radix", Model: "shmem", N: 1 << 12, Procs: 4, Dist: "gauss"},
+	}}
+	resp := postJSON(t, ts.URL+"/v1/grid", grid)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("grid status %d", resp.StatusCode)
+	}
+	defer resp.Body.Close()
+	seen := make(map[int]gridCellStatus)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var st gridCellStatus
+		if err := json.Unmarshal(sc.Bytes(), &st); err != nil {
+			t.Fatalf("bad NDJSON line %s: %v", sc.Bytes(), err)
+		}
+		var sum gridSummary
+		json.Unmarshal(sc.Bytes(), &sum)
+		if sum.Done {
+			if sum.OK != 3 || sum.Errors != 0 {
+				t.Errorf("summary = %+v, want 3 ok / 0 errors", sum)
+			}
+			continue
+		}
+		seen[st.Index] = st
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	keysSeen := map[string]bool{}
+	for i := 0; i < 3; i++ {
+		st, ok := seen[i]
+		if !ok || st.Error != "" || st.TimeNs <= 0 {
+			t.Fatalf("cell %d missing or failed: %+v", i, st)
+		}
+		if keysSeen[st.Key] {
+			t.Errorf("cell %d shares a cache key with an earlier cell", i)
+		}
+		keysSeen[st.Key] = true
+	}
+	if runs := s.h.Stats().Runs; runs != 3 {
+		t.Errorf("harness ran %d simulations, want 3 (all cells distinct)", runs)
+	}
+	// Unknown dist in any cell: the whole batch is rejected upfront.
+	bad := gridRequest{Cells: []experimentRequest{
+		{Algorithm: "radix", Model: "shmem", N: 1 << 12, Procs: 4, Dist: "weird"},
+	}}
+	resp = postJSON(t, ts.URL+"/v1/grid", bad)
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad-dist batch: status %d, want 400 (body %s)", resp.StatusCode, body)
+	}
+}

@@ -4,9 +4,18 @@
 // Usage:
 //
 //	sortbench -algo radix -model shmem -n 262144 -procs 16 -radix 8 \
-//	          -dist gauss [-seed N] [-full] [-perproc] [-paranoid] \
+//	          -dist gauss [-seed N] [-seeds K] [-confidence 0.95] \
+//	          [-full] [-perproc] [-paranoid] \
 //	          [-trace out.json] [-metrics out.json] \
 //	          [-benchjson] [-benchout BENCH_sim.json] [-benchlabel rev]
+//
+// -seeds K (K >= 2) switches to ensemble mode: the experiment runs at K
+// consecutive seeds starting from -seed, and the output is each
+// metric's mean, sample stddev and Student-t confidence interval
+// (internal/stats; -confidence selects 0.95 or 0.99) instead of a
+// single point estimate. Ensemble mode is about the statistics of the
+// simulated metrics, so it excludes the single-run outputs -trace,
+// -metrics, -benchjson and -perproc.
 //
 // -paranoid shadows every simulated access with the slow reference
 // models and invariant checks of internal/check (DESIGN.md §9). Output
@@ -39,6 +48,7 @@ import (
 	"repro"
 	"repro/internal/keys"
 	"repro/internal/report"
+	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -73,6 +83,8 @@ func main() {
 		dist       = flag.String("dist", "gauss", "key distribution")
 		topo       = flag.String("topo", "", "interconnect kind (hypercube, fattree, torus, torus3d, dragonfly, numa2); default hypercube")
 		seed       = flag.Uint64("seed", 0, "key generation seed")
+		seedsK     = flag.Int("seeds", 0, "ensemble mode: run K >= 2 consecutive seeds starting at -seed and print mean/stddev/CI per metric")
+		confidence = flag.Float64("confidence", 0.95, "ensemble confidence level: 0.95 or 0.99")
 		full       = flag.Bool("full", false, "use the full-size (unscaled) Origin2000 parameters")
 		paranoid   = flag.Bool("paranoid", false, "shadow every access with the reference models and invariant checks (slow; fails on any violation)")
 		paranoidN  = flag.Int("paranoid-sample", 0, "spot-sample the paranoid checks every N priced events (0/1 = full per-access checks; N>1 implies -paranoid and keeps the fast kernels)")
@@ -103,6 +115,15 @@ func main() {
 	tp, err := repro.ParseTopology(*topo)
 	if err != nil {
 		fatal(err)
+	}
+	if *seedsK != 0 {
+		if *traceTo != "" || *metrics != "" || *benchjson || *perproc {
+			fatal(fmt.Errorf("-seeds is incompatible with -trace, -metrics, -benchjson and -perproc"))
+		}
+		if err := runEnsemble(a, m, d, tp, *n, *procs, *radix, *seed, *seedsK, *confidence, *full, *paranoid); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	start := time.Now()
 	out, err := repro.Run(repro.Experiment{
@@ -165,6 +186,34 @@ func main() {
 		}
 		fmt.Println(t)
 	}
+}
+
+// runEnsemble is the -seeds mode: one experiment across K consecutive
+// seeds, reduced to per-metric mean/stddev/CI by internal/stats.
+func runEnsemble(a repro.Algorithm, m repro.Model, d keys.Dist, topo string,
+	n, procs, radix int, seed uint64, seedsK int, confidence float64, full, paranoid bool) error {
+	label := fmt.Sprintf("%s/%s", a, m)
+	ens, err := stats.RunEnsemble(
+		stats.Config{Seeds: seedsK, BaseSeed: seed, Confidence: confidence},
+		[]stats.Variant{{Label: label, Exp: repro.Experiment{
+			Algorithm: a, Model: m, N: n, Procs: procs, Radix: radix,
+			Dist: d, Topo: topo, FullSize: full, Paranoid: paranoid,
+		}}})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s  n=%d  procs=%d  radix=%d  dist=%s  seeds=%d..%d  confidence=%g\n",
+		label, n, procs, radix, d, seed, seed+uint64(seedsK)-1, ens.Confidence)
+	t := &report.Table{
+		Title:  "Ensemble summary (ms, breakdown summed over processors)",
+		Header: []string{"metric", "mean", "stddev", "ci lo", "ci hi"},
+	}
+	for _, mt := range ens.Variant(label).Metrics {
+		t.AddRow(mt.Name, report.F(mt.Mean/1e6), report.F(mt.Std/1e6),
+			report.F(mt.CILo/1e6), report.F(mt.CIHi/1e6))
+	}
+	fmt.Println(t)
+	return nil
 }
 
 // appendBench loads path (if it exists), appends one benchRun entry

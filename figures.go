@@ -684,6 +684,68 @@ func (h *Harness) Figure9() (*RelativeFigure, error) {
 		Sample, CCSAS)
 }
 
+// FigureSkew is the beyond-paper skewed-workload study (DESIGN.md §14,
+// paperfigs -exp figskew): Gauss plus the four skew distributions
+// (zipf, selfsim, dupheavy, adversarial) across the three algorithms at
+// their §4 headline models, largest size and processor count of the
+// grid. Each column is one program, normalized by that program's own
+// Gauss time, so a cell directly reads "how much does this skew cost
+// this algorithm" — the splitter-sensitivity story the paper's eight
+// benign distributions cannot show.
+func (h *Harness) FigureSkew() (*RelativeFigure, error) {
+	procs := h.opts.Procs[len(h.opts.Procs)-1]
+	size := h.opts.Sizes[len(h.opts.Sizes)-1]
+	n := h.sizeN(size)
+	programs := []struct {
+		name  string
+		alg   Algorithm
+		model Model
+	}{
+		{"radix/shmem", Radix, SHMEM},
+		{"sample/ccsas", Sample, CCSAS},
+		{"psrs/ccsas", Psrs, CCSAS},
+	}
+	dists := append([]keys.Dist{keys.Gauss}, keys.SkewDists...)
+	f := &RelativeFigure{
+		Title: fmt.Sprintf("figskew: skewed workloads at the %s class, %dP, relative to each program's Gauss time",
+			size.Label, procs),
+		Reference: keys.Gauss.String(),
+		Relative:  make(map[string]map[string]float64),
+	}
+	for _, d := range dists {
+		f.Variants = append(f.Variants, d.String())
+		f.Relative[d.String()] = make(map[string]float64)
+	}
+	var cells []gridCell
+	for _, p := range programs {
+		f.Sizes = append(f.Sizes, p.name)
+		for _, d := range dists {
+			cells = append(cells, expCell(Experiment{
+				Algorithm: p.alg, Model: p.model, N: n, Procs: procs, Radix: 8, Dist: d,
+			}))
+		}
+	}
+	res, err := h.runGrid(cells)
+	if err != nil {
+		return nil, err
+	}
+	cur := &gridCursor{res: res}
+	for _, p := range programs {
+		ref := 0.0
+		for _, d := range dists {
+			t := cur.take().out.TimeNs
+			if d == keys.Gauss {
+				ref = t
+			}
+			f.Relative[d.String()][p.name] = t
+		}
+		for _, d := range dists {
+			f.Relative[d.String()][p.name] /= ref
+		}
+	}
+	return f, nil
+}
+
 // radixFigure sweeps radix sizes relative to radix 8 at the largest
 // processor count.
 func (h *Harness) radixFigure(title string, alg Algorithm, model Model) (*RelativeFigure, error) {

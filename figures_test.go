@@ -207,3 +207,32 @@ func TestOptionsDefaults(t *testing.T) {
 		t.Error("nil progress not defaulted")
 	}
 }
+
+func TestHarnessFigureSkew(t *testing.T) {
+	h := NewHarness(Options{Procs: []int{8}, Sizes: SizeClasses[:1]})
+	f, err := h.FigureSkew()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Variants) != 1+len(keys.SkewDists) {
+		t.Fatalf("got %d rows, want gauss + %d skew dists", len(f.Variants), len(keys.SkewDists))
+	}
+	if len(f.Sizes) != 3 {
+		t.Fatalf("got %d program columns, want 3", len(f.Sizes))
+	}
+	for _, prog := range f.Sizes {
+		if got := f.Get(keys.Gauss.String(), prog); got != 1 {
+			t.Errorf("%s gauss reference cell = %v, want 1", prog, got)
+		}
+		for _, d := range keys.SkewDists {
+			if v := f.Get(d.String(), prog); v <= 0 {
+				t.Errorf("%s/%s relative time %v not positive", prog, d, v)
+			}
+		}
+	}
+	// The headline: zipf skew must cost sample sort more than radix sort
+	// (splitter-directed exchange vs blocked redistribution).
+	if zr, zs := f.Get("zipf", "radix/shmem"), f.Get("zipf", "sample/ccsas"); zs <= zr {
+		t.Errorf("zipf: sample relative cost %v <= radix %v", zs, zr)
+	}
+}

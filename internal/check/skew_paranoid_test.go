@@ -1,0 +1,99 @@
+// Paranoid coverage for the skew distributions (DESIGN.md §14): every
+// new generator must run clean under the full reference-model shadow at
+// 1/4/16 procs, and the adversarial shape-target cell (64 procs, small
+// sampler) must too — the splitter-defeating receive imbalance routes
+// most of the key volume through one processor's protocol traffic,
+// which is exactly the kind of asymmetric access pattern the fast
+// paths could mis-price.
+package check_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro"
+	"repro/internal/keys"
+)
+
+// TestParanoidSkewDists: the acceptance cell — all four skew
+// distributions, paranoid-clean at 1/4/16 procs, across the three
+// algorithms (one model each, chosen to cover the CC-SAS load/store,
+// SHMEM one-sided and MPI two-sided paths).
+func TestParanoidSkewDists(t *testing.T) {
+	type combo struct {
+		algo  repro.Algorithm
+		model repro.Model
+	}
+	combos := []combo{
+		{repro.Sample, repro.CCSAS},
+		{repro.Radix, repro.SHMEM},
+		{repro.Psrs, repro.MPI},
+	}
+	procs := []int{1, 4, 16}
+	if testing.Short() {
+		procs = []int{4}
+	}
+	for _, d := range keys.SkewDists {
+		for _, c := range combos {
+			for _, p := range procs {
+				name := fmt.Sprintf("%s-%s-%s-p%d", d, c.algo, c.model, p)
+				d, c, p := d, c, p
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					out, err := repro.Run(repro.Experiment{
+						Algorithm: c.algo, Model: c.model,
+						N: 1 << 13, Procs: p, Radix: 8, Dist: d,
+						Paranoid: true,
+					})
+					if err != nil {
+						t.Fatalf("paranoid run failed: %v", err)
+					}
+					if !out.Verified {
+						t.Error("output not verified sorted")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestParanoidAdversarialShapeCell covers the adversarial shape
+// target's configuration — 64 procs with the undersized sampler — at a
+// reduced N, plus the byte-identity half of the paranoid contract on
+// that cell: shadowing every access must not change the sorted output.
+func TestParanoidAdversarialShapeCell(t *testing.T) {
+	e := repro.Experiment{
+		Algorithm: repro.Sample, Model: repro.CCSAS,
+		N: 1 << 14, Procs: 64, Radix: 8,
+		Dist: keys.Adversarial, SampleSize: 16, Seed: 1,
+	}
+	plain, err := repro.Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Paranoid = true
+	paranoid, err := repro.Run(e)
+	if err != nil {
+		t.Fatalf("paranoid run failed: %v", err)
+	}
+	if !paranoid.Verified {
+		t.Error("output not verified sorted")
+	}
+	if paranoid.TimeNs != plain.TimeNs {
+		t.Errorf("paranoid changed simulated time: %v != %v", paranoid.TimeNs, plain.TimeNs)
+	}
+	a, b := plain.Result.Sorted, paranoid.Result.Sorted
+	if len(a) != len(b) {
+		t.Fatal("output length changed under paranoid")
+	}
+	ab := make([]byte, 0, len(a)*4)
+	bb := make([]byte, 0, len(b)*4)
+	for i := range a {
+		ab = append(ab, byte(a[i]), byte(a[i]>>8), byte(a[i]>>16), byte(a[i]>>24))
+		bb = append(bb, byte(b[i]), byte(b[i]>>8), byte(b[i]>>16), byte(b[i]>>24))
+	}
+	if !bytes.Equal(ab, bb) {
+		t.Error("sorted output differs under paranoid")
+	}
+}

@@ -40,10 +40,32 @@ const (
 	// Local eliminates key movement: every digit of every key falls in
 	// the generating processor's own digit range.
 	Local
+	// Zipf draws keys from a Zipf(s) rank-frequency law over a fixed
+	// table of ranks: a few values dominate, with a long duplicate-heavy
+	// tail (GenConfig.ZipfS tunes the exponent).
+	Zipf
+	// SelfSim is a self-similar 80/20 distribution: at every scale, 80%
+	// of the keys fall in the lowest fifth of the remaining value range.
+	SelfSim
+	// DupHeavy draws uniformly from k distinct values
+	// (GenConfig.DupValues); k=1 degenerates to all-equal keys.
+	DupHeavy
+	// Adversarial defeats sample sort's splitter selection: each
+	// processor hides a full inter-sample gap of keys inside one narrow
+	// global value band that no regularly-positioned sample can observe,
+	// so one destination partition receives every processor's hidden run
+	// while radix sort's blocked redistribution stays perfectly flat.
+	Adversarial
 )
 
-// AllDists lists the distributions in the paper's figure order.
+// AllDists lists the distributions in the paper's figure order. The
+// skewed/adversarial additions live in SkewDists instead, so the paper
+// figures (5 and 9) and their goldens are unchanged.
 var AllDists = []Dist{Gauss, Random, Zero, Bucket, Stagger, Remote, Half, Local}
+
+// SkewDists lists the adversarial and skewed distributions added on top
+// of the paper's eight (§3.3), in figskew order.
+var SkewDists = []Dist{Zipf, SelfSim, DupHeavy, Adversarial}
 
 // String returns the lowercase name used in figures and flags.
 func (d Dist) String() string {
@@ -64,6 +86,14 @@ func (d Dist) String() string {
 		return "remote"
 	case Local:
 		return "local"
+	case Zipf:
+		return "zipf"
+	case SelfSim:
+		return "selfsim"
+	case DupHeavy:
+		return "dupheavy"
+	case Adversarial:
+		return "adversarial"
 	default:
 		return fmt.Sprintf("Dist(%d)", int(d))
 	}
@@ -71,9 +101,11 @@ func (d Dist) String() string {
 
 // ParseDist resolves a distribution name (case-insensitive).
 func ParseDist(s string) (Dist, error) {
-	for _, d := range AllDists {
-		if strings.EqualFold(s, d.String()) {
-			return d, nil
+	for _, list := range [][]Dist{AllDists, SkewDists} {
+		for _, d := range list {
+			if strings.EqualFold(s, d.String()) {
+				return d, nil
+			}
 		}
 	}
 	return 0, fmt.Errorf("keys: unknown distribution %q", s)
@@ -91,6 +123,17 @@ type GenConfig struct {
 	RadixBits int
 	// Seed perturbs the generators; 0 is a valid, fixed default.
 	Seed uint64
+	// ZipfS is the Zipf exponent s (0 means the default 1.2); only the
+	// Zipf distribution reads it.
+	ZipfS float64
+	// DupValues is the number of distinct values DupHeavy draws from
+	// (0 means the default 16).
+	DupValues int
+	// AdvSamples is the per-processor sample count the Adversarial
+	// construction assumes the sorter will take (0 means the default
+	// 128, matching sorts.DefaultConfig.SampleSize). The attack is
+	// strongest when this matches the sorter's actual SampleSize.
+	AdvSamples int
 }
 
 func (c GenConfig) validate() error {
@@ -102,6 +145,15 @@ func (c GenConfig) validate() error {
 	}
 	if c.RadixBits < 1 || c.RadixBits > 16 {
 		return fmt.Errorf("keys: RadixBits must be in [1,16], got %d", c.RadixBits)
+	}
+	if c.ZipfS < 0 || c.ZipfS > 8 {
+		return fmt.Errorf("keys: ZipfS must be in [0,8], got %g", c.ZipfS)
+	}
+	if c.DupValues < 0 || uint64(c.DupValues) > MaxKey {
+		return fmt.Errorf("keys: DupValues must be in [0,2^31], got %d", c.DupValues)
+	}
+	if c.AdvSamples < 0 || c.AdvSamples > 1<<20 {
+		return fmt.Errorf("keys: AdvSamples must be in [0,2^20], got %d", c.AdvSamples)
 	}
 	return nil
 }
@@ -179,6 +231,14 @@ func Generate(d Dist, cfg GenConfig) ([]uint32, error) {
 		fillDigitPattern(out, cfg, true)
 	case Local:
 		fillDigitPattern(out, cfg, false)
+	case Zipf:
+		fillZipf(out, cfg)
+	case SelfSim:
+		fillSelfSim(out, cfg)
+	case DupHeavy:
+		fillDupHeavy(out, cfg)
+	case Adversarial:
+		fillAdversarial(out, cfg)
 	default:
 		return nil, fmt.Errorf("keys: unknown distribution %d", int(d))
 	}

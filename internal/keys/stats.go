@@ -31,7 +31,13 @@ func MovedFraction(keys []uint32, procs, radixBits int) float64 {
 	mask := uint32(buckets - 1)
 	moved := 0
 	for i, k := range keys {
-		owner := i * procs / len(keys)
+		// Index i is owned by the processor whose blocked slice
+		// [p*n/P, (p+1)*n/P) contains it: the smallest p with
+		// (p+1)*n/P > i, i.e. floor((i*P+P-1)/n). Plain i*P/n is wrong
+		// when P does not divide n — it assigns boundary indices to the
+		// previous processor (n=10, P=4: index 2 belongs to processor 1's
+		// slice [2,5) but 2*4/10 = 0) and under-counts moved keys.
+		owner := (i*procs + procs - 1) / len(keys)
 		dest := int(k&mask) / perProc
 		if dest >= procs {
 			dest = procs - 1

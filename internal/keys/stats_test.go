@@ -128,3 +128,73 @@ func TestBucketDistributionPreSortedPerProcessor(t *testing.T) {
 		t.Errorf("bucket partition runs (%d) should be below random's (%d)", rb, rr)
 	}
 }
+
+// TestMovedFractionBlockedOwnership is the regression test for the
+// ownership inverse: the owner of index i must be the processor whose
+// blocked slice [p*n/P, (p+1)*n/P) contains i, including when P does
+// not divide n. The pre-fix i*P/n formula assigned boundary indices to
+// the previous processor and under-counted moved keys.
+func TestMovedFractionBlockedOwnership(t *testing.T) {
+	// Brute-force oracle over the same bounds() partition the sorts use.
+	ownerOf := func(i, n, p int) int {
+		for proc := 0; proc < p; proc++ {
+			lo, hi := bounds(n, p, proc)
+			if i >= lo && i < hi {
+				return proc
+			}
+		}
+		t.Fatalf("index %d unowned (n=%d p=%d)", i, n, p)
+		return -1
+	}
+	for _, tc := range []struct{ n, p int }{{10, 4}, {10007, 8}, {77, 16}, {4096, 64}, {9, 3}} {
+		for i := 0; i < tc.n; i++ {
+			got := (i*tc.p + tc.p - 1) / tc.n
+			if want := ownerOf(i, tc.n, tc.p); got != want {
+				t.Fatalf("n=%d p=%d: owner(%d) = %d, want %d", tc.n, tc.p, i, got, want)
+			}
+		}
+	}
+	// End-to-end on a non-divisible Local stream: every key's first
+	// digit maps back to its own processor, so nothing moves. Under the
+	// broken inverse this reported a spurious non-zero fraction.
+	const n, p, r = 10007, 8, 8
+	local := MustGenerate(Local, GenConfig{N: n, Procs: p, RadixBits: r})
+	if f := MovedFraction(local, p, r); f != 0 {
+		t.Errorf("local moved fraction = %v at non-divisible n, want 0", f)
+	}
+	remote := MustGenerate(Remote, GenConfig{N: n, Procs: p, RadixBits: r})
+	if f := MovedFraction(remote, p, r); f != 1 {
+		t.Errorf("remote moved fraction = %v at non-divisible n, want 1", f)
+	}
+}
+
+// TestStatsUnderDupHeavy audits the summary helpers against the
+// duplicate-heavy generators: bucket counts must cover every key
+// exactly once, the imbalance of an all-equal stream is the bucket
+// count (all mass in one bucket), and entropy collapses toward 0.
+func TestStatsUnderDupHeavy(t *testing.T) {
+	const n, p, r = 1 << 14, 8, 8
+	dup := MustGenerate(DupHeavy, GenConfig{N: n, Procs: p, RadixBits: r, Seed: 1})
+	counts := BucketCounts(dup, 0, r)
+	var sum int64
+	for _, c := range counts {
+		sum += c
+	}
+	if sum != n {
+		t.Fatalf("bucket counts sum to %d, want %d", sum, n)
+	}
+	allEq := MustGenerate(DupHeavy, GenConfig{N: n, Procs: p, RadixBits: r, Seed: 1, DupValues: 1})
+	eqCounts := BucketCounts(allEq, 0, r)
+	if got, want := Imbalance(eqCounts), float64(len(eqCounts)); got != want {
+		t.Errorf("all-equal imbalance = %v, want %v (single occupied bucket)", got, want)
+	}
+	if e := Entropy(eqCounts); e != 0 {
+		t.Errorf("all-equal entropy = %v, want 0", e)
+	}
+	if e := Entropy(counts); e <= 0 || e >= 1 {
+		t.Errorf("dupheavy entropy = %v, want inside (0, 1)", e)
+	}
+	if runs := SortednessRuns(allEq); runs != 1 {
+		t.Errorf("all-equal stream has %d runs, want 1", runs)
+	}
+}

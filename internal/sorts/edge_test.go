@@ -179,3 +179,42 @@ func TestResultMetadata(t *testing.T) {
 		t.Error("TimeNs accessor mismatch")
 	}
 }
+
+// TestSkewDistsAllPrograms runs every parallel program on each of the
+// four skew generators at an uneven size, verifying outputs against the
+// reference ordering.
+func TestSkewDistsAllPrograms(t *testing.T) {
+	const n, procs = 10007, 8
+	for _, d := range keys.SkewDists {
+		in := genKeys(t, d, n, procs, 8)
+		allPrograms(t, func() *machine.Machine { return scaled(t, procs) }, in, Config{Radix: 8})
+	}
+}
+
+// TestDupHeavyFewerKeysThanProcs: the duplicate-heavy generator at
+// n < procs — empty partitions plus massive value collisions at once.
+func TestDupHeavyFewerKeysThanProcs(t *testing.T) {
+	const n, procs = 5, 8
+	in, err := keys.Generate(keys.DupHeavy, keys.GenConfig{N: n, Procs: procs, RadixBits: 8, DupValues: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allPrograms(t, func() *machine.Machine { return scaled(t, procs) }, in, Config{Radix: 8})
+}
+
+// TestDupHeavyAllEqual: DupValues=1 degenerates to all-equal keys —
+// sample sort's splitters all coincide and the tie-spreading boundary
+// logic must still balance the exchange.
+func TestDupHeavyAllEqual(t *testing.T) {
+	const n, procs = 4096, 8
+	in, err := keys.Generate(keys.DupHeavy, keys.GenConfig{N: n, Procs: procs, RadixBits: 8, DupValues: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range in {
+		if k != in[0] {
+			t.Fatal("DupValues=1 should be all-equal")
+		}
+	}
+	allPrograms(t, func() *machine.Machine { return scaled(t, procs) }, in, Config{Radix: 8})
+}

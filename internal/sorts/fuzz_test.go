@@ -5,6 +5,7 @@ import (
 	"sort"
 	"testing"
 
+	"repro/internal/keys"
 	"repro/internal/machine"
 )
 
@@ -23,7 +24,12 @@ func FuzzSortAgreement(f *testing.F) {
 	f.Add(uint64(7), uint16(3), uint8(1), uint8(5))
 	// Shaped seeds (top three seed bits select the shape; see fuzzKeys):
 	// duplicate-heavy and pre-sorted inputs stress PSRS's regular-sampling
-	// pivot ties and degenerate partitions.
+	// pivot ties and degenerate partitions, and the four skew generators
+	// (zipf, selfsim, dupheavy, adversarial) stress splitter selection.
+	f.Add(uint64(1)<<61|11, uint16(2048), uint8(2), uint8(4))
+	f.Add(uint64(2)<<61|22, uint16(1500), uint8(1), uint8(5))
+	f.Add(uint64(3)<<61|33, uint16(900), uint8(0), uint8(3))
+	f.Add(uint64(4)<<61|44, uint16(4095), uint8(2), uint8(7))
 	f.Add(uint64(5)<<61|12345, uint16(2000), uint8(2), uint8(4))
 	f.Add(uint64(6)<<61|99, uint16(1024), uint8(2), uint8(3))
 	f.Add(uint64(7)<<61|7, uint16(777), uint8(1), uint8(6))
@@ -76,11 +82,23 @@ func FuzzSortAgreement(f *testing.F) {
 // fuzzKeys expands a seed into n keys < 2^31 (the paper's key width)
 // with a splitmix64 generator, so the fuzzer controls the distribution
 // through a single integer. The top three seed bits select a shape —
-// 0-4 plain random, 5 duplicate-heavy (at most 9 distinct values),
+// 0 plain random, 1-4 the skew generators (zipf, selfsim, dupheavy,
+// adversarial), 5 duplicate-heavy (at most 9 distinct values),
 // 6 pre-sorted ascending, 7 reverse-sorted — so the fuzzer also
 // explores the inputs that stress regular-sampling pivot ties
-// (duplicates) and degenerate partitions (monotone runs).
+// (duplicates), degenerate partitions (monotone runs), and
+// splitter-defeating skew.
 func fuzzKeys(seed uint64, n int) []uint32 {
+	switch seed >> 61 {
+	case 1:
+		return keys.MustGenerate(keys.Zipf, keys.GenConfig{N: n, Procs: 8, RadixBits: 8, Seed: seed})
+	case 2:
+		return keys.MustGenerate(keys.SelfSim, keys.GenConfig{N: n, Procs: 8, RadixBits: 8, Seed: seed})
+	case 3:
+		return keys.MustGenerate(keys.DupHeavy, keys.GenConfig{N: n, Procs: 8, RadixBits: 8, Seed: seed})
+	case 4:
+		return keys.MustGenerate(keys.Adversarial, keys.GenConfig{N: n, Procs: 8, RadixBits: 8, Seed: seed})
+	}
 	out := make([]uint32, n)
 	x := seed
 	for i := range out {

@@ -122,5 +122,6 @@ func SeqRadix(m *machine.Machine, keysIn []uint32, cfg Config) (*Result, error) 
 	}
 	sorted := make([]uint32, n)
 	copy(sorted, out.Data)
-	return &Result{Algorithm: "radix", Model: "seq", Sorted: sorted, Run: run}, nil
+	return &Result{Algorithm: "radix", Model: "seq", Sorted: sorted,
+		RecvCounts: []int{n}, Run: run}, nil
 }

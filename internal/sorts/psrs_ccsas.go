@@ -160,5 +160,6 @@ func PsrsCCSAS(m *machine.Machine, keysIn []uint32, cfg Config) (*Result, error)
 	})
 
 	sorted := gatherSortedSample(finalArr, finalCounts, n, P)
-	return &Result{Algorithm: "psrs", Model: "ccsas", Sorted: sorted, Run: run}, nil
+	return &Result{Algorithm: "psrs", Model: "ccsas", Sorted: sorted,
+		RecvCounts: finalCounts, Run: run}, nil
 }

@@ -152,5 +152,5 @@ func PsrsMPI(m *machine.Machine, keysIn []uint32, cfg Config) (*Result, error) {
 
 	sorted := gatherSortedSample(finalArr, finalCounts, n, P)
 	return &Result{Algorithm: "psrs", Model: "mpi-" + cfg.MPI.Engine.String(),
-		Sorted: sorted, Run: run}, nil
+		Sorted: sorted, RecvCounts: finalCounts, Run: run}, nil
 }

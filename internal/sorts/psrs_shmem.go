@@ -186,5 +186,6 @@ func PsrsSHMEM(m *machine.Machine, keysIn []uint32, cfg Config) (*Result, error)
 	})
 
 	sorted := gatherSortedSample(finalArr, finalCounts, n, P)
-	return &Result{Algorithm: "psrs", Model: "shmem", Sorted: sorted, Run: run}, nil
+	return &Result{Algorithm: "psrs", Model: "shmem", Sorted: sorted,
+		RecvCounts: finalCounts, Run: run}, nil
 }

@@ -127,5 +127,6 @@ func RadixCCSAS(m *machine.Machine, keysIn []uint32, cfg Config, buffered bool) 
 	if buffered {
 		model = "ccsas-new"
 	}
-	return &Result{Algorithm: "radix", Model: model, Sorted: sorted, Run: run}, nil
+	return &Result{Algorithm: "radix", Model: model, Sorted: sorted,
+		RecvCounts: blockedCounts(n, P), Run: run}, nil
 }

@@ -127,7 +127,8 @@ func RadixMPI(m *machine.Machine, keysIn []uint32, cfg Config) (*Result, error) 
 	if cfg.MPIOneMessagePerDest {
 		model += "-onemsg"
 	}
-	return &Result{Algorithm: "radix", Model: model, Sorted: sorted, Run: run}, nil
+	return &Result{Algorithm: "radix", Model: model, Sorted: sorted,
+		RecvCounts: blockedCounts(n, P), Run: run}, nil
 }
 
 // exchangePerChunk sends each contiguously-destined run as its own

@@ -123,5 +123,6 @@ func RadixSHMEM(m *machine.Machine, keysIn []uint32, cfg Config) (*Result, error
 	for i := 0; i < P; i++ {
 		sorted = append(sorted, final[i].Data...)
 	}
-	return &Result{Algorithm: "radix", Model: "shmem", Sorted: sorted, Run: run}, nil
+	return &Result{Algorithm: "radix", Model: "shmem", Sorted: sorted,
+		RecvCounts: blockedCounts(n, P), Run: run}, nil
 }

@@ -175,7 +175,8 @@ func SampleCCSAS(m *machine.Machine, keysIn []uint32, cfg Config) (*Result, erro
 	})
 
 	sorted := gatherSortedSample(finalArr, finalCounts, n, P)
-	return &Result{Algorithm: "sample", Model: "ccsas", Sorted: sorted, Run: run}, nil
+	return &Result{Algorithm: "sample", Model: "ccsas", Sorted: sorted,
+		RecvCounts: finalCounts, Run: run}, nil
 }
 
 // gatherSortedSample concatenates per-processor outputs; for the

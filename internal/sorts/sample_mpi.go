@@ -130,5 +130,5 @@ func SampleMPI(m *machine.Machine, keysIn []uint32, cfg Config) (*Result, error)
 
 	sorted := gatherSortedSample(finalArr, finalCounts, n, P)
 	return &Result{Algorithm: "sample", Model: "mpi-" + cfg.MPI.Engine.String(),
-		Sorted: sorted, Run: run}, nil
+		Sorted: sorted, RecvCounts: finalCounts, Run: run}, nil
 }

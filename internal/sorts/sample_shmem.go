@@ -145,5 +145,6 @@ func SampleSHMEM(m *machine.Machine, keysIn []uint32, cfg Config) (*Result, erro
 	})
 
 	sorted := gatherSortedSample(finalArr, finalCounts, n, P)
-	return &Result{Algorithm: "sample", Model: "shmem", Sorted: sorted, Run: run}, nil
+	return &Result{Algorithm: "sample", Model: "shmem", Sorted: sorted,
+		RecvCounts: finalCounts, Run: run}, nil
 }

@@ -110,6 +110,19 @@ func digit(k uint32, pass, r int) int {
 	return int(k>>(pass*r)) & ((1 << r) - 1)
 }
 
+// blockedCounts returns the receive counts of a blocked redistribution:
+// processor i receives its [i*n/P, (i+1)*n/P) slice of the global
+// array. Radix sort's key exchange writes into this layout every pass,
+// so its receive balance is flat by construction for any distribution.
+func blockedCounts(n, procs int) []int {
+	counts := make([]int, procs)
+	for i := range counts {
+		lo, hi := bounds(n, procs, i)
+		counts[i] = hi - lo
+	}
+	return counts
+}
+
 // Result reports one sort run.
 type Result struct {
 	// Algorithm is "radix" or "sample"; Model names the programming model
@@ -117,6 +130,12 @@ type Result struct {
 	Algorithm, Model string
 	// Sorted is the output permutation (ascending).
 	Sorted []uint32
+	// RecvCounts is the number of keys each processor received in the
+	// algorithm's main redistribution: the single splitter-directed
+	// exchange for sample sort and PSRS (so skewed splitters show up as
+	// imbalance), and the blocked layout for radix sort and the
+	// sequential baseline (flat by construction).
+	RecvCounts []int
 	// Run carries the simulated timing and per-processor stats.
 	Run *machine.Result
 }

@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"flag"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/orderings.json from freshly derived orderings")
+
+const baselinePath = "testdata/orderings.json"
+
+// TestOrderingBaseline is the ordering-regression gate: it re-derives
+// every committed cell's program ordering from a small seed ensemble
+// and fails when any pair flips with significance. Pairs inside their
+// confidence band may land in either order. Run with -update to
+// re-baseline intentionally.
+func TestOrderingBaseline(t *testing.T) {
+	b, err := LoadBaseline(filepath.Join(baselinePath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := CheckBaseline(b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *update {
+		for i, r := range results {
+			b.Cells[i].Order = r.DerivedOrder
+		}
+		if err := b.Save(baselinePath); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("re-baselined %d cells", len(results))
+		return
+	}
+	for _, r := range results {
+		t.Logf("cell %s: derived order %v", r.Cell.Name, r.DerivedOrder)
+		for _, f := range r.Flips {
+			t.Errorf("cell %s: ordering flipped: %s", r.Cell.Name, f)
+		}
+	}
+}
+
+// TestOrderingGateMutation proves the gate has teeth: artificially
+// flipping a significant pair in the expected order must produce a
+// flip, and the true order must not.
+func TestOrderingGateMutation(t *testing.T) {
+	b, err := LoadBaseline(baselinePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := b.Cells[0]
+	r, err := CheckCell(Config{Seeds: b.Seeds, BaseSeed: b.BaseSeed, Confidence: b.Confidence}, cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flips := Flips(r.DerivedOrder, r.Ensemble); len(flips) != 0 {
+		t.Fatalf("derived order flagged against itself: %v", flips)
+	}
+	// The first adjacent pair of the derived order is significant in
+	// every committed cell (the baseline was chosen that way); swapping
+	// it must trip the gate.
+	c := r.Ensemble.Comparison(r.DerivedOrder[0], r.DerivedOrder[1])
+	if c == nil || !c.Significant {
+		t.Fatalf("expected a significant leading pair in cell %s, got %+v", cell.Name, c)
+	}
+	mutated := append([]string(nil), r.DerivedOrder...)
+	mutated[0], mutated[1] = mutated[1], mutated[0]
+	flips := Flips(mutated, r.Ensemble)
+	if len(flips) == 0 {
+		t.Fatal("mutated baseline order produced no flips; the gate has no teeth")
+	}
+	t.Logf("mutation detected: %s", flips[0])
+	// A stale baseline (label set mismatch) is also caught.
+	if flips := Flips(mutated[:1], r.Ensemble); len(flips) == 0 {
+		t.Fatal("label-set mismatch not reported")
+	}
+	if flips := Flips([]string{"a", "b", "c"}, r.Ensemble); len(flips) == 0 {
+		t.Fatal("unknown labels not reported")
+	}
+}

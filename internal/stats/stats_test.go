@@ -1,0 +1,187 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro"
+	"repro/internal/keys"
+	"repro/internal/resultcache"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarizeKnownValues(t *testing.T) {
+	// Hand-computed: values {2,4,4,4,5,5,7,9}, mean 5, sample std 2.138,
+	// 95% CI half-width t(0.975, df=7)=2.365 * 2.138/sqrt(8) = 1.7878.
+	m := Summarize("time_ns", []float64{2, 4, 4, 4, 5, 5, 7, 9}, 0.95)
+	if m.Mean != 5 {
+		t.Fatalf("mean = %v, want 5", m.Mean)
+	}
+	if !almost(m.Std, 2.13809, 1e-4) {
+		t.Fatalf("std = %v, want 2.13809", m.Std)
+	}
+	if !almost(m.CIHi-m.Mean, 1.7878, 1e-3) || !almost(m.Mean-m.CILo, 1.7878, 1e-3) {
+		t.Fatalf("CI = [%v, %v], want half-width 1.7878 around 5", m.CILo, m.CIHi)
+	}
+}
+
+func TestCompareWelch(t *testing.T) {
+	a := &VariantSummary{Label: "a", Metrics: []Metric{Summarize("time_ns", []float64{10, 11, 12, 11, 10}, 0.95)}}
+	b := &VariantSummary{Label: "b", Metrics: []Metric{Summarize("time_ns", []float64{20, 21, 22, 21, 20}, 0.95)}}
+	c := Compare(a, b, "time_ns", 0.95)
+	if !c.Significant || c.Verdict != VerdictALess {
+		t.Fatalf("clearly separated samples: got significant=%v verdict=%q", c.Significant, c.Verdict)
+	}
+	// Identical samples: insignificant, overlapping.
+	c = Compare(a, a, "time_ns", 0.95)
+	if c.Significant || c.Verdict != VerdictOverlapping {
+		t.Fatalf("identical samples: got significant=%v verdict=%q", c.Significant, c.Verdict)
+	}
+	// Zero variance, different means: exact difference is significant.
+	z1 := &VariantSummary{Label: "z1", Metrics: []Metric{Summarize("time_ns", []float64{5, 5, 5}, 0.95)}}
+	z2 := &VariantSummary{Label: "z2", Metrics: []Metric{Summarize("time_ns", []float64{6, 6, 6}, 0.95)}}
+	c = Compare(z1, z2, "time_ns", 0.95)
+	if !c.Significant || c.Verdict != VerdictALess || c.T != 0 {
+		t.Fatalf("zero-variance distinct means: got %+v", c)
+	}
+}
+
+func TestTCritConservativeClamps(t *testing.T) {
+	if got := tCrit(0.95, 7); got != 2.365 {
+		t.Fatalf("tCrit(0.95, 7) = %v, want 2.365", got)
+	}
+	if got := tCrit(0.99, 4); got != 4.604 {
+		t.Fatalf("tCrit(0.99, 4) = %v, want 4.604", got)
+	}
+	// Fractional df floors; huge df clamps to the df=30 row.
+	if tCrit(0.95, 4.9) != tCrit(0.95, 4) {
+		t.Fatal("fractional df should floor")
+	}
+	if tCrit(0.95, 1e6) != t975[29] || tCrit(0.95, 0.2) != t975[0] {
+		t.Fatal("df clamping broken")
+	}
+}
+
+func TestRunEnsembleValidation(t *testing.T) {
+	v := []Variant{{Label: "x", Exp: repro.Experiment{N: 1 << 10, Procs: 2, Algorithm: repro.Radix, Model: repro.SHMEM}}}
+	if _, err := RunEnsemble(Config{Seeds: 1}, v); err == nil {
+		t.Fatal("Seeds=1 should be rejected")
+	}
+	if _, err := RunEnsemble(Config{Seeds: 5, Confidence: 0.5}, v); err == nil {
+		t.Fatal("confidence 0.5 should be rejected")
+	}
+	if _, err := RunEnsemble(Config{Seeds: 5}, nil); err == nil {
+		t.Fatal("no variants should be rejected")
+	}
+	dup := []Variant{v[0], v[0]}
+	if _, err := RunEnsemble(Config{Seeds: 5}, dup); err == nil {
+		t.Fatal("duplicate labels should be rejected")
+	}
+}
+
+// TestEnsembleDeterministicAcrossParallelism is the -j1 ≡ -j8 byte
+// identity guarantee: the rendered ensemble document may not depend on
+// the worker-pool width.
+func TestEnsembleDeterministicAcrossParallelism(t *testing.T) {
+	vs, err := Programs(repro.Experiment{N: 1 << 13, Procs: 4, Radix: 8, Dist: keys.Zipf},
+		[]string{"radix/shmem", "sample/ccsas"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var docs [][]byte
+	for _, par := range []int{1, 8} {
+		ens, err := RunEnsemble(Config{Seeds: 5, BaseSeed: 1, Parallelism: par}, vs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc, err := ens.Document()
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs = append(docs, doc)
+	}
+	if !bytes.Equal(docs[0], docs[1]) {
+		t.Fatal("ensemble document differs between -j1 and -j8")
+	}
+}
+
+// TestEnsembleBreakdownMetrics checks the metric plumbing: every
+// summarized metric is present, positive where expected, and the
+// breakdown buckets sum to less than or equal the total simulated
+// time times procs (the per-proc splits cover the critical path).
+func TestEnsembleBreakdownMetrics(t *testing.T) {
+	vs, err := Programs(repro.Experiment{N: 1 << 12, Procs: 4, Radix: 8, Dist: keys.DupHeavy},
+		[]string{"sample/ccsas"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ens, err := RunEnsemble(Config{Seeds: 5, BaseSeed: 7}, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := ens.Variant("sample/ccsas")
+	if v == nil {
+		t.Fatal("variant missing")
+	}
+	for _, name := range MetricNames {
+		m := v.Metric(name)
+		if m == nil {
+			t.Fatalf("metric %s missing", name)
+		}
+		if len(m.Values) != 5 {
+			t.Fatalf("metric %s has %d values, want 5", name, len(m.Values))
+		}
+		if m.CILo > m.Mean || m.CIHi < m.Mean {
+			t.Fatalf("metric %s CI [%v,%v] does not contain mean %v", name, m.CILo, m.CIHi, m.Mean)
+		}
+	}
+	if v.Metric("time_ns").Mean <= 0 || v.Metric("busy_ns").Mean <= 0 {
+		t.Fatal("time/busy metrics should be positive")
+	}
+}
+
+// TestEnsembleCacheRoundTrip stores an ensemble document in the result
+// cache under a config-derived key and reads it back byte-identically.
+func TestEnsembleCacheRoundTrip(t *testing.T) {
+	vs, err := Programs(repro.Experiment{N: 1 << 12, Procs: 4, Radix: 8, Dist: keys.SelfSim},
+		[]string{"radix/shmem", "psrs/mpi"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Seeds: 5, BaseSeed: 3}
+	ens, err := RunEnsemble(cfg, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := ens.Document()
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := resultcache.New(resultcache.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := resultcache.Key(resultcache.CodeVersion(), struct {
+		Cfg      Config
+		Variants []Variant
+	}{cfg, vs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := store.Do(key, func() ([]byte, error) { return doc, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, doc) {
+		t.Fatal("cache Do returned different bytes")
+	}
+	cached, _, ok := store.Get(key)
+	if !ok {
+		t.Fatal("Get missed after Do")
+	}
+	if !bytes.Equal(cached, doc) {
+		t.Fatal("cached document differs")
+	}
+}

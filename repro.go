@@ -155,6 +155,14 @@ type Experiment struct {
 	Topo string
 	// Seed perturbs key generation.
 	Seed uint64
+	// SampleSize overrides sample sort's per-processor sample count
+	// (0 = the default 128). The Adversarial key distribution mirrors
+	// this value so its splitter-defeating construction targets the
+	// sampler actually used; key generation for the other distributions
+	// ignores it, and the same value always produces the same keys for
+	// every algorithm, so cross-algorithm comparisons stay apples to
+	// apples.
+	SampleSize int
 	// FullSize runs on the unscaled Origin2000 machine parameters.
 	FullSize bool
 	// MPIBufDepth overrides the per-pair window depth (0 = default) for
@@ -269,8 +277,12 @@ func Run(e Experiment) (*Outcome, error) {
 		// binary tree over the processors.
 		return nil, fmt.Errorf("repro: %s needs a power-of-two processor count, got %d", e.Model, e.Procs)
 	}
+	if e.SampleSize < 0 || e.SampleSize > 1<<20 {
+		return nil, fmt.Errorf("repro: SampleSize must be in [0, 2^20], got %d", e.SampleSize)
+	}
 	in, err := keys.Generate(e.Dist, keys.GenConfig{
 		N: e.N, Procs: e.Procs, RadixBits: e.Radix, Seed: e.Seed,
+		AdvSamples: e.SampleSize,
 	})
 	if err != nil {
 		return nil, err
@@ -282,7 +294,7 @@ func Run(e Experiment) (*Outcome, error) {
 	if e.Trace {
 		m.EnableTracing()
 	}
-	cfg := sorts.Config{Radix: e.Radix}
+	cfg := sorts.Config{Radix: e.Radix, SampleSize: e.SampleSize}
 	switch e.Model {
 	case MPISGI:
 		cfg.MPI = mpi.DefaultStaged()
@@ -343,6 +355,27 @@ func Run(e Experiment) (*Outcome, error) {
 	}
 	if tr := res.Run.Trace; tr != nil {
 		tr.Label = e.Label()
+		// Receive balance of the main redistribution (RecvCounts): how
+		// evenly the splitter-directed exchange (sample/PSRS) or the
+		// blocked exchange (radix) spread the keys. partition.imbalance
+		// is max/mean; 1.0 is perfectly flat.
+		if len(res.RecvCounts) > 0 {
+			maxKeys, sum := 0, 0
+			for _, c := range res.RecvCounts {
+				sum += c
+				if c > maxKeys {
+					maxKeys = c
+				}
+			}
+			mean := float64(sum) / float64(len(res.RecvCounts))
+			tr.AddMetric("partition.max_keys", float64(maxKeys))
+			tr.AddMetric("partition.mean_keys", mean)
+			if mean > 0 {
+				tr.AddMetric("partition.imbalance", float64(maxKeys)/mean)
+			} else {
+				tr.AddMetric("partition.imbalance", 0)
+			}
+		}
 	}
 	// Return the machine's slab arena to the process-wide pool so the
 	// next grid cell reuses it. Sorted aliases arena memory — detach it

@@ -299,6 +299,147 @@ var shapeChecks = []shapeCheck{
 			return nil
 		},
 	},
+	{
+		// Adversarial-workload target (DESIGN.md §14): the
+		// splitter-defeating distribution at 64 procs at least doubles
+		// sample sort's receive imbalance (max/mean keys per processor,
+		// read off the partition.* trace metrics) over radix sort's,
+		// which stays exactly flat — radix redistributes into the blocked
+		// layout no matter what the keys look like. Two regimes:
+		//
+		//  - SampleSize 16 < Procs: the splitter pool has fewer than one
+		//    rank per destination, so the attack (and any coarse
+		//    distribution) drives the imbalance to ~P/(S+1): 3.75 here.
+		//  - Default SampleSize 128 >= Procs: regular-position rank
+		//    statistics cap ANY adversary at (S+P)/(S+1) — each
+		//    destination absorbs at most one hidden inter-sample gap for
+		//    free — and the attack lands on that cap exactly (1.4884 at
+		//    S=128, P=64). Both sides are asserted: the attack must beat
+		//    1.45x flat, and must not beat the cap (the sampler's
+		//    worst case is bounded, which is the paper's argument for
+		//    sample sort being safe at S >> P).
+		//
+		// Teeth: the straggler partition must also show up in the memory
+		// system — the worst processor's remote stall time well above the
+		// mean — which the flatmem ablation erases (CC-SAS remote misses
+		// are all priced local, RMEM = 0).
+		name: "adversarial doubles sample imbalance over radix at 64 procs",
+		check: func(mod func(*Experiment)) error {
+			imb := func(alg Algorithm, sampleSize int) (float64, []float64, error) {
+				e := Experiment{
+					Algorithm: alg, Model: CCSAS, N: 1 << 18, Procs: 64,
+					Dist: keys.Adversarial, SampleSize: sampleSize, Seed: 1, Trace: true,
+				}
+				out, err := shapeRun(e, mod)
+				if err != nil {
+					return 0, nil, err
+				}
+				var rmem []float64
+				for _, b := range out.Breakdowns() {
+					rmem = append(rmem, b.RMem)
+				}
+				return out.Trace().Metric("partition.imbalance"), rmem, nil
+			}
+			sample16, rmem16, err := imb(Sample, 16)
+			if err != nil {
+				return err
+			}
+			radix16, _, err := imb(Radix, 16)
+			if err != nil {
+				return err
+			}
+			if radix16 > 1.01 {
+				return fmt.Errorf("radix imbalance %.4f not flat", radix16)
+			}
+			if sample16 < 2*radix16 {
+				return fmt.Errorf("S<P regime: sample imbalance %.4f < 2x radix %.4f", sample16, radix16)
+			}
+			sampleDef, _, err := imb(Sample, 0)
+			if err != nil {
+				return err
+			}
+			radixDef, _, err := imb(Radix, 0)
+			if err != nil {
+				return err
+			}
+			if sampleDef < 1.45*radixDef {
+				return fmt.Errorf("default sampler: sample imbalance %.4f < 1.45x radix %.4f", sampleDef, radixDef)
+			}
+			// (S+P)/(S+1) = 192/129 = 1.4884: no adversary can exceed it.
+			if sampleDef > 1.55 {
+				return fmt.Errorf("default sampler: imbalance %.4f exceeds the (S+P)/(S+1) cap", sampleDef)
+			}
+			var maxR, sumR float64
+			for _, r := range rmem16 {
+				sumR += r
+				if r > maxR {
+					maxR = r
+				}
+			}
+			if meanR := sumR / float64(len(rmem16)); maxR <= 1.5*meanR {
+				return fmt.Errorf("straggler invisible in RMEM: max %.0fns <= 1.5x mean %.0fns", maxR, meanR)
+			}
+			return nil
+		},
+	},
+	{
+		// Adversarial-workload target (DESIGN.md §14): under Zipf skew,
+		// PSRS's regular sampling (P-1 splitters from P*(P-1) evenly
+		// spaced local ranks) keeps its theoretical <= 2x partition bound
+		// while plain sample sort's random-position splitters break it at
+		// the same cell — regular sampling is the better splitter
+		// selector under skew, the classic Shi & Schaeffer result.
+		//
+		// Teeth: sample sort's oversized partition must cost real remote
+		// traffic on the straggler (max RMEM above the mean), which the
+		// flatmem ablation erases.
+		name: "psrs holds its 2x partition bound under zipf where sample breaks it",
+		check: func(mod func(*Experiment)) error {
+			imb := func(alg Algorithm) (float64, []float64, error) {
+				e := Experiment{
+					Algorithm: alg, Model: CCSAS, N: 1 << 18, Procs: 64,
+					Dist: keys.Zipf, Seed: 1, Trace: true,
+				}
+				out, err := shapeRun(e, mod)
+				if err != nil {
+					return 0, nil, err
+				}
+				var rmem []float64
+				for _, b := range out.Breakdowns() {
+					rmem = append(rmem, b.RMem)
+				}
+				return out.Trace().Metric("partition.imbalance"), rmem, nil
+			}
+			psrs, _, err := imb(Psrs)
+			if err != nil {
+				return err
+			}
+			sample, rmem, err := imb(Sample)
+			if err != nil {
+				return err
+			}
+			if psrs > 2.0 {
+				return fmt.Errorf("psrs imbalance %.4f breaks the 2x regular-sampling bound", psrs)
+			}
+			if sample <= 2.0 {
+				return fmt.Errorf("sample imbalance %.4f unexpectedly within 2x", sample)
+			}
+			if psrs >= sample {
+				return fmt.Errorf("psrs imbalance %.4f >= sample %.4f", psrs, sample)
+			}
+			var maxR, sumR float64
+			for _, r := range rmem {
+				sumR += r
+				if r > maxR {
+					maxR = r
+				}
+			}
+			if meanR := sumR / float64(len(rmem)); maxR <= 1.2*meanR {
+				return fmt.Errorf("straggler invisible in RMEM: max %.0fns <= 1.2x mean %.0fns", maxR, meanR)
+			}
+			return nil
+		},
+	},
 }
 
 // TestShapeTargets runs the full suite on the real machine model: every
@@ -332,4 +473,33 @@ func TestShapeTargetsFailUnderFlatMemory(t *testing.T) {
 		t.Fatal("every shape target still passes under the flatmem ablation; the suite does not depend on the memory model")
 	}
 	t.Logf("flatmem ablation breaks %d/%d shape targets: %v", len(failed), len(shapeChecks), failed)
+}
+
+// TestAdversarialShapeTargetsHaveTeeth pins the ablation sensitivity of
+// the two adversarial-workload targets individually: their RMEM
+// straggler clauses must each fail under the flatmem ablation (CC-SAS
+// remote stalls go to exactly zero there), not just the suite as a
+// whole.
+func TestAdversarialShapeTargetsHaveTeeth(t *testing.T) {
+	flat := func(e *Experiment) { e.FlatMemory = true }
+	for _, name := range []string{
+		"adversarial doubles sample imbalance over radix at 64 procs",
+		"psrs holds its 2x partition bound under zipf where sample breaks it",
+	} {
+		found := false
+		for _, sc := range shapeChecks {
+			if sc.name != name {
+				continue
+			}
+			found = true
+			if err := sc.check(flat); err == nil {
+				t.Errorf("%s: still passes under flatmem; RMEM teeth missing", name)
+			} else {
+				t.Logf("%s: flatmem breaks it as intended: %v", name, err)
+			}
+		}
+		if !found {
+			t.Errorf("shape check %q not found", name)
+		}
+	}
 }
